@@ -1,0 +1,54 @@
+"""Benchmark + shape checks for Figure 1 (both rows).
+
+Regenerates the paper's Figure 1 size comparison and times the full
+pipeline (model optimization -> code generation -> -Os compilation).
+Run with ``pytest benchmarks/ --benchmark-only``; the reproduced rows are
+printed so the output can be compared to the paper side by side.
+"""
+
+import pytest
+
+from repro.experiments.figure1 import (PAPER_FLAT_GAIN,
+                                       PAPER_HIER_GAIN_MIN, main,
+                                       run_figure1)
+from repro.experiments.models import (
+    flat_machine_with_unreachable_state,
+    hierarchical_machine_with_shadowed_composite)
+from repro.pipeline import optimize_and_compare
+
+
+@pytest.fixture(scope="module")
+def figure1_rows():
+    rows = run_figure1()
+    print("\n" + main())
+    return {("flat" if "flat" in r.example else "hier"): r for r in rows}
+
+
+def test_figure1_flat(benchmark, figure1_rows):
+    """Flat example: modest gain, same ballpark as the paper's 10.07 %."""
+    row = figure1_rows["flat"]
+    assert row.size_after < row.size_before
+    # Shape: a modest single-digit-to-low-tens gain.
+    assert 2.0 <= row.gain_percent <= 30.0
+    assert row.dce_kept_dead_code      # the compiler alone cannot do it
+    assert row.behavior_preserved
+    benchmark(lambda: optimize_and_compare(
+        flat_machine_with_unreachable_state(), "nested-switch",
+        check_behavior=False))
+
+
+def test_figure1_hierarchical(benchmark, figure1_rows):
+    """Hierarchical example: the paper reports > 45 % gain."""
+    row = figure1_rows["hier"]
+    assert row.gain_percent > PAPER_HIER_GAIN_MIN
+    assert row.dce_kept_dead_code
+    assert row.behavior_preserved
+    benchmark(lambda: optimize_and_compare(
+        hierarchical_machine_with_shadowed_composite(), "nested-switch",
+        check_behavior=False))
+
+
+def test_figure1_hierarchical_dwarfs_flat(figure1_rows):
+    """The hierarchical gain is several times the flat gain."""
+    assert figure1_rows["hier"].gain_percent > \
+        2 * figure1_rows["flat"].gain_percent

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` in this offline environment falls back to the legacy
+setup.py code path; all real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""Model analyses: reachability, completion shadowing, dead code, metrics."""
+
+from .completion import CompletionInfo, analyze_completion, is_always_completing
+from .deadcode import (DeadCodeReport, DeadReason, DeadState, DeadTransition,
+                       find_dead_code)
+from .metrics import ModelMetrics, measure_model
+from .reachability import ReachabilityInfo, analyze_reachability
+
+__all__ = [
+    "CompletionInfo", "analyze_completion", "is_always_completing",
+    "DeadCodeReport", "DeadReason", "DeadState", "DeadTransition",
+    "find_dead_code",
+    "ModelMetrics", "measure_model",
+    "ReachabilityInfo", "analyze_reachability",
+]

@@ -1,0 +1,37 @@
+"""Code generators: the paper's three implementation patterns."""
+
+from typing import List, Type
+
+from .base import (CodeGenerator, CodegenError, GenConfig, NO_EVENT,
+                   COMPLETION_EVENT, EVENT_ENUM, event_enumerator)
+from .common import event_index
+from .flattening import (FlatMachine, FlatTransition, LeafConfig,
+                         flatten_machine)
+from .nested_switch import NestedSwitchGenerator
+from .state_pattern import StatePatternGenerator
+from .state_table import StateTableGenerator
+
+__all__ = [
+    "CodeGenerator", "CodegenError", "GenConfig", "NO_EVENT",
+    "COMPLETION_EVENT", "EVENT_ENUM", "event_enumerator", "event_index",
+    "FlatMachine", "FlatTransition", "LeafConfig", "flatten_machine",
+    "NestedSwitchGenerator", "StatePatternGenerator", "StateTableGenerator",
+    "ALL_GENERATORS", "generator_by_name",
+]
+
+#: The three patterns of the paper's Table 1, in its row order.
+ALL_GENERATORS: List[Type[CodeGenerator]] = [
+    StateTableGenerator,
+    NestedSwitchGenerator,
+    StatePatternGenerator,
+]
+
+
+def generator_by_name(name: str, config: GenConfig = GenConfig()
+                      ) -> CodeGenerator:
+    """Instantiate a generator by its stable name."""
+    for gen_cls in ALL_GENERATORS:
+        if gen_cls.name == name:
+            return gen_cls(config)
+    raise KeyError(f"unknown generator {name!r}; available: "
+                   f"{[g.name for g in ALL_GENERATORS]}")

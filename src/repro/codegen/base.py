@@ -1,0 +1,75 @@
+"""Code generator interface and configuration.
+
+Paper §III.B: "There are number of patterns that may be used to implement
+a UML state machine.  Most popular ones are: the State Pattern, the State
+Table Transition (STT), and the Nested Switch Case statements."  Each
+pattern is one :class:`CodeGenerator` producing a
+:class:`~repro.cpp.ast.TranslationUnit` for the same machine under the
+same fixed execution semantics.
+
+Shared conventions of all three generators:
+
+* one ``enum Event`` over the machine's alphabet, in declaration order;
+* context attributes become ``int`` fields of the machine class;
+* opaque operations become ``extern "C"`` functions;
+* the public entry points of the generated class are ``init()`` (take the
+  initial transition) and ``dispatch(int ev)`` (run-to-completion step);
+* ``is_final()`` reports top-region completion;
+* completion transitions are evaluated eagerly after every state entry,
+  with priority over pooled events — the UML rule the paper's
+  optimization relies on.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..cpp import ast as cpp
+from ..uml.statemachine import StateMachine
+
+__all__ = ["GenConfig", "CodeGenerator", "CodegenError", "EVENT_ENUM",
+           "event_enumerator", "NO_EVENT", "COMPLETION_EVENT"]
+
+EVENT_ENUM = "Event"
+#: Sentinel used by generated runtimes for "no pending event".
+NO_EVENT = -1
+#: Sentinel row-event used by the table pattern for completion rows.
+COMPLETION_EVENT = -2
+
+
+class CodegenError(Exception):
+    """Raised when a machine uses a feature the pattern cannot express."""
+
+
+def event_enumerator(event_name: str) -> str:
+    return f"EV_{event_name}"
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Generation options shared by all patterns."""
+
+    class_prefix: str = ""       # prepended to every generated class name
+    emit_is_final: bool = True   # generate the is_final() observer
+
+
+class CodeGenerator(abc.ABC):
+    """One implementation pattern."""
+
+    #: stable identifier used by experiments/benchmarks ("nested-switch",
+    #: "state-pattern", "state-table")
+    name: str = "abstract"
+    #: human-readable pattern name as the paper spells it
+    display_name: str = ""
+
+    def __init__(self, config: GenConfig = GenConfig()) -> None:
+        self.config = config
+
+    @abc.abstractmethod
+    def generate(self, machine: StateMachine) -> cpp.TranslationUnit:
+        """Generate the translation unit implementing *machine*."""
+
+    def class_name(self, machine: StateMachine) -> str:
+        """Name of the generated machine class."""
+        return f"{self.config.class_prefix}{machine.name}"

@@ -1,0 +1,19 @@
+"""MGCC: the GCC-shaped optimizing compiler substrate.
+
+Pipeline: C++ subset AST -> GIMPLE (frontend) -> SSA optimizations
+(CCP, copy propagation, DCE, CFG cleanup, inlining) -> RTL instruction
+selection (jump-table/compare-chain switch lowering) -> linear-scan
+register allocation -> peephole -> RT32 assembly with byte-accurate
+size accounting.
+"""
+
+from .asm import AsmModule
+from .driver import CompileResult, OptLevel, compile_program, compile_unit
+from .frontend.lower import ClassLayout, LoweringError, lower_unit, mangle
+from .gimple.ir import Program
+
+__all__ = [
+    "AsmModule", "CompileResult", "OptLevel", "compile_program",
+    "compile_unit", "ClassLayout", "LoweringError", "lower_unit", "mangle",
+    "Program",
+]

@@ -1,0 +1,605 @@
+"""MGCC middle-end IR ("GIMPLE").
+
+A three-address, basic-block IR modeled on GCC's GIMPLE (paper §II.C:
+since GCC 4.0 the middle end works on a tree/SSA form because "most of
+the discovered optimization algorithms are mathematical ones that need to
+be executed on a higher abstract level than the RTL").
+
+Values are virtual registers (:class:`Reg`) or integer immediates.
+Memory is explicit: ``Load``/``Store`` go through a base register +
+constant offset; globals are addressed by symbol.  Functions own an
+ordered mapping of labeled basic blocks, each ending in exactly one
+terminator.  ``Phi`` instructions appear only between SSA construction
+and SSA destruction.
+
+The IR is deliberately *not* typed beyond word/pointer uniformity: the
+RT32 target is ILP32 and every scalar the C++ subset can produce fits in
+one 32-bit word, exactly the simplification embedded compilers of the
+paper's era made in their RTL.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Reg", "Operand", "Instr", "Const", "Move", "BinOp", "UnOp",
+    "Load", "Store", "LoadGlobal", "StoreGlobal", "LoadAddr",
+    "Call", "CallIndirect", "Phi",
+    "Terminator", "Jump", "Branch", "SwitchTerm", "Ret",
+    "BasicBlock", "GimpleFunction", "DataItem", "SymbolRef", "DataObject",
+    "Program", "IRError",
+]
+
+BIN_OPS = {"+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!="}
+UN_OPS = {"-", "!"}
+
+
+class IRError(Exception):
+    """Raised on malformed IR constructions."""
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A virtual register.  ``version`` is used by SSA renaming."""
+
+    name: str
+    version: int = 0
+
+    def __str__(self) -> str:
+        if self.version:
+            return f"%{self.name}.{self.version}"
+        return f"%{self.name}"
+
+
+Operand = Union[Reg, int]
+
+
+def _fmt(op: Operand) -> str:
+    return str(op)
+
+
+# ---------------------------------------------------------------------------
+# Instructions
+# ---------------------------------------------------------------------------
+
+class Instr:
+    """Base class: one non-terminator instruction.
+
+    Every concrete instruction exposes ``dst`` — either as a dataclass
+    field (value-producing instructions) or as a ``None`` class attribute
+    (pure effects like stores).  The attribute is deliberately *not*
+    declared here: an inherited class-attribute default would leak into
+    subclass dataclass field ordering.
+    """
+
+    def uses(self) -> List[Reg]:
+        """Registers read by this instruction."""
+        return [op for op in self._operands() if isinstance(op, Reg)]
+
+    def _operands(self) -> Sequence[Operand]:
+        return ()
+
+    def replace_uses(self, mapping: Dict[Reg, Operand]) -> "Instr":
+        """Return a copy with uses substituted per *mapping*."""
+        raise NotImplementedError
+
+    @property
+    def has_side_effects(self) -> bool:
+        return False
+
+
+@dataclass
+class Const(Instr):
+    dst: Reg
+    value: int
+
+    def _operands(self):
+        return ()
+
+    def replace_uses(self, mapping):
+        return self
+
+    def __str__(self):
+        return f"{self.dst} = const {self.value}"
+
+
+def _sub(op: Operand, mapping: Dict[Reg, Operand]) -> Operand:
+    if isinstance(op, Reg) and op in mapping:
+        return mapping[op]
+    return op
+
+
+@dataclass
+class Move(Instr):
+    dst: Reg
+    src: Operand
+
+    def _operands(self):
+        return (self.src,)
+
+    def replace_uses(self, mapping):
+        return Move(self.dst, _sub(self.src, mapping))
+
+    def __str__(self):
+        return f"{self.dst} = {_fmt(self.src)}"
+
+
+@dataclass
+class BinOp(Instr):
+    dst: Reg
+    op: str
+    a: Operand
+    b: Operand
+
+    def __post_init__(self):
+        if self.op not in BIN_OPS:
+            raise IRError(f"bad binary op {self.op!r}")
+
+    def _operands(self):
+        return (self.a, self.b)
+
+    def replace_uses(self, mapping):
+        return BinOp(self.dst, self.op, _sub(self.a, mapping),
+                     _sub(self.b, mapping))
+
+    def __str__(self):
+        return f"{self.dst} = {_fmt(self.a)} {self.op} {_fmt(self.b)}"
+
+
+@dataclass
+class UnOp(Instr):
+    dst: Reg
+    op: str
+    a: Operand
+
+    def __post_init__(self):
+        if self.op not in UN_OPS:
+            raise IRError(f"bad unary op {self.op!r}")
+
+    def _operands(self):
+        return (self.a,)
+
+    def replace_uses(self, mapping):
+        return UnOp(self.dst, self.op, _sub(self.a, mapping))
+
+    def __str__(self):
+        return f"{self.dst} = {self.op}{_fmt(self.a)}"
+
+
+@dataclass
+class Load(Instr):
+    """Word load: ``dst = *(base + offset)``."""
+
+    dst: Reg
+    base: Reg
+    offset: int = 0
+
+    def _operands(self):
+        return (self.base,)
+
+    def replace_uses(self, mapping):
+        base = _sub(self.base, mapping)
+        if not isinstance(base, Reg):
+            raise IRError("load base folded to a constant")
+        return Load(self.dst, base, self.offset)
+
+    def __str__(self):
+        return f"{self.dst} = load [{self.base}+{self.offset}]"
+
+
+@dataclass
+class Store(Instr):
+    """Word store: ``*(base + offset) = src``."""
+
+    base: Reg
+    offset: int
+    src: Operand
+    dst = None
+
+    def _operands(self):
+        return (self.base, self.src)
+
+    def replace_uses(self, mapping):
+        base = _sub(self.base, mapping)
+        if not isinstance(base, Reg):
+            raise IRError("store base folded to a constant")
+        return Store(base, self.offset, _sub(self.src, mapping))
+
+    @property
+    def has_side_effects(self):
+        return True
+
+    def __str__(self):
+        return f"store [{self.base}+{self.offset}] = {_fmt(self.src)}"
+
+
+@dataclass
+class LoadGlobal(Instr):
+    """``dst = symbol[offset]`` (word load from a global object)."""
+
+    dst: Reg
+    symbol: str
+    offset: int = 0
+
+    def replace_uses(self, mapping):
+        return self
+
+    def __str__(self):
+        return f"{self.dst} = load @{self.symbol}+{self.offset}"
+
+
+@dataclass
+class StoreGlobal(Instr):
+    """``symbol[offset] = src``."""
+
+    symbol: str
+    offset: int
+    src: Operand
+    dst = None
+
+    def _operands(self):
+        return (self.src,)
+
+    def replace_uses(self, mapping):
+        return StoreGlobal(self.symbol, self.offset, _sub(self.src, mapping))
+
+    @property
+    def has_side_effects(self):
+        return True
+
+    def __str__(self):
+        return f"store @{self.symbol}+{self.offset} = {_fmt(self.src)}"
+
+
+@dataclass
+class LoadAddr(Instr):
+    """``dst = &symbol`` — address of a global object or function."""
+
+    dst: Reg
+    symbol: str
+    offset: int = 0
+
+    def replace_uses(self, mapping):
+        return self
+
+    def __str__(self):
+        return f"{self.dst} = addr @{self.symbol}+{self.offset}"
+
+
+@dataclass
+class Call(Instr):
+    """Direct call.  ``dst`` may be None for void calls."""
+
+    dst: Optional[Reg]
+    callee: str
+    args: Tuple[Operand, ...] = ()
+
+    def _operands(self):
+        return self.args
+
+    def replace_uses(self, mapping):
+        return Call(self.dst, self.callee,
+                    tuple(_sub(a, mapping) for a in self.args))
+
+    @property
+    def has_side_effects(self):
+        return True
+
+    def __str__(self):
+        args = ", ".join(_fmt(a) for a in self.args)
+        lhs = f"{self.dst} = " if self.dst else ""
+        return f"{lhs}call @{self.callee}({args})"
+
+
+@dataclass
+class CallIndirect(Instr):
+    """Call through a register (vtable slot / table function pointer)."""
+
+    dst: Optional[Reg]
+    target: Reg
+    args: Tuple[Operand, ...] = ()
+
+    def _operands(self):
+        return (self.target,) + tuple(self.args)
+
+    def replace_uses(self, mapping):
+        target = _sub(self.target, mapping)
+        if not isinstance(target, Reg):
+            raise IRError("indirect call target folded to a constant")
+        return CallIndirect(self.dst, target,
+                            tuple(_sub(a, mapping) for a in self.args))
+
+    @property
+    def has_side_effects(self):
+        return True
+
+    def __str__(self):
+        args = ", ".join(_fmt(a) for a in self.args)
+        lhs = f"{self.dst} = " if self.dst else ""
+        return f"{lhs}call_indirect {self.target}({args})"
+
+
+@dataclass
+class Phi(Instr):
+    """SSA phi node: value per predecessor block label."""
+
+    dst: Reg
+    incoming: Dict[str, Operand] = field(default_factory=dict)
+
+    def _operands(self):
+        return tuple(self.incoming.values())
+
+    def replace_uses(self, mapping):
+        return Phi(self.dst, {lbl: _sub(v, mapping)
+                              for lbl, v in self.incoming.items()})
+
+    def __str__(self):
+        inc = ", ".join(f"[{l}: {_fmt(v)}]"
+                        for l, v in sorted(self.incoming.items()))
+        return f"{self.dst} = phi {inc}"
+
+
+# ---------------------------------------------------------------------------
+# Terminators
+# ---------------------------------------------------------------------------
+
+class Terminator:
+    """Base class: the single control-transfer ending a block."""
+
+    def successors(self) -> List[str]:
+        return []
+
+    def uses(self) -> List[Reg]:
+        return []
+
+    def replace_uses(self, mapping: Dict[Reg, Operand]) -> "Terminator":
+        return self
+
+    def retarget(self, mapping: Dict[str, str]) -> "Terminator":
+        """Return a copy with successor labels substituted."""
+        return self
+
+
+@dataclass
+class Jump(Terminator):
+    target: str
+
+    def successors(self):
+        return [self.target]
+
+    def retarget(self, mapping):
+        return Jump(mapping.get(self.target, self.target))
+
+    def __str__(self):
+        return f"jump {self.target}"
+
+
+@dataclass
+class Branch(Terminator):
+    cond: Operand
+    if_true: str
+    if_false: str
+
+    def successors(self):
+        return [self.if_true, self.if_false]
+
+    def uses(self):
+        return [self.cond] if isinstance(self.cond, Reg) else []
+
+    def replace_uses(self, mapping):
+        return Branch(_sub(self.cond, mapping), self.if_true, self.if_false)
+
+    def retarget(self, mapping):
+        return Branch(self.cond, mapping.get(self.if_true, self.if_true),
+                      mapping.get(self.if_false, self.if_false))
+
+    def __str__(self):
+        return f"branch {_fmt(self.cond)} ? {self.if_true} : {self.if_false}"
+
+
+@dataclass
+class SwitchTerm(Terminator):
+    """Multi-way dispatch (the C++ ``switch`` reaches the backend intact,
+    like GCC's GIMPLE_SWITCH, so the backend can choose between a jump
+    table and a compare chain)."""
+
+    value: Operand
+    cases: Dict[int, str] = field(default_factory=dict)
+    default: str = ""
+
+    def successors(self):
+        # Deduplicate while preserving order.
+        seen = []
+        for label in list(self.cases.values()) + [self.default]:
+            if label and label not in seen:
+                seen.append(label)
+        return seen
+
+    def uses(self):
+        return [self.value] if isinstance(self.value, Reg) else []
+
+    def replace_uses(self, mapping):
+        return SwitchTerm(_sub(self.value, mapping), dict(self.cases),
+                          self.default)
+
+    def retarget(self, mapping):
+        return SwitchTerm(self.value,
+                          {k: mapping.get(v, v) for k, v in self.cases.items()},
+                          mapping.get(self.default, self.default))
+
+    def __str__(self):
+        cases = ", ".join(f"{k}->{v}" for k, v in sorted(self.cases.items()))
+        return f"switch {_fmt(self.value)} [{cases}] default {self.default}"
+
+
+@dataclass
+class Ret(Terminator):
+    value: Optional[Operand] = None
+
+    def uses(self):
+        return [self.value] if isinstance(self.value, Reg) else []
+
+    def replace_uses(self, mapping):
+        return Ret(_sub(self.value, mapping) if self.value is not None
+                   else None)
+
+    def __str__(self):
+        return f"ret {_fmt(self.value)}" if self.value is not None else "ret"
+
+
+# ---------------------------------------------------------------------------
+# Containers
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BasicBlock:
+    label: str
+    instrs: List[Instr] = field(default_factory=list)
+    terminator: Optional[Terminator] = None
+
+    def add(self, instr: Instr) -> Instr:
+        if self.terminator is not None:
+            raise IRError(f"block {self.label} already terminated")
+        self.instrs.append(instr)
+        return instr
+
+    def phis(self) -> List[Phi]:
+        return [i for i in self.instrs if isinstance(i, Phi)]
+
+    def non_phis(self) -> List[Instr]:
+        return [i for i in self.instrs if not isinstance(i, Phi)]
+
+    def __str__(self):
+        lines = [f"{self.label}:"]
+        lines.extend(f"  {i}" for i in self.instrs)
+        lines.append(f"  {self.terminator}")
+        return "\n".join(lines)
+
+
+class GimpleFunction:
+    """One function in GIMPLE form."""
+
+    def __init__(self, name: str, params: Optional[List[Reg]] = None) -> None:
+        self.name = name
+        self.params: List[Reg] = list(params or [])
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.entry: str = ""
+        self._label_counter = itertools.count()
+        self._reg_counter = itertools.count()
+
+    # -- construction ---------------------------------------------------
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        label = f"{hint}{next(self._label_counter)}"
+        block = BasicBlock(label)
+        self.blocks[label] = block
+        if not self.entry:
+            self.entry = label
+        return block
+
+    def new_reg(self, hint: str = "t") -> Reg:
+        return Reg(f"{hint}{next(self._reg_counter)}")
+
+    def block(self, label: str) -> BasicBlock:
+        return self.blocks[label]
+
+    # -- queries ----------------------------------------------------------
+    def iter_blocks(self) -> Iterator[BasicBlock]:
+        """Blocks in insertion order (entry first)."""
+        return iter(self.blocks.values())
+
+    def instr_count(self) -> int:
+        return sum(len(b.instrs) + 1 for b in self.blocks.values())
+
+    def check(self) -> None:
+        """Structural sanity: every block terminated, all targets exist."""
+        for block in self.blocks.values():
+            if block.terminator is None:
+                raise IRError(f"{self.name}: block {block.label} lacks a "
+                              "terminator")
+            for succ in block.terminator.successors():
+                if succ not in self.blocks:
+                    raise IRError(f"{self.name}: {block.label} targets "
+                                  f"unknown block {succ}")
+
+    def __str__(self):
+        params = ", ".join(str(p) for p in self.params)
+        lines = [f"function {self.name}({params}) {{"]
+        for block in self.iter_blocks():
+            lines.append(str(block))
+        lines.append("}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Data / program
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SymbolRef:
+    """A word-sized reference to another symbol (vtable slots, table
+    function pointers, pointers between globals)."""
+
+    symbol: str
+
+
+DataItem = Union[int, SymbolRef]
+
+
+@dataclass
+class DataObject:
+    """A statically-initialized global: a sequence of 32-bit words.
+
+    ``section`` is ``"rodata"`` (const tables, vtables), ``"data"``
+    (initialized mutables) or ``"bss"`` (zero-initialized; contributes no
+    image bytes in the paper's .s-size sense but is reported separately).
+    """
+
+    name: str
+    words: List[DataItem] = field(default_factory=list)
+    section: str = "data"
+
+    @property
+    def size(self) -> int:
+        return 4 * len(self.words)
+
+
+class Program:
+    """A lowered translation unit: functions + global data + metadata."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.functions: Dict[str, GimpleFunction] = {}
+        self.data: Dict[str, DataObject] = {}
+        self.externs: List[str] = []
+
+    def add_function(self, fn: GimpleFunction) -> GimpleFunction:
+        if fn.name in self.functions:
+            raise IRError(f"duplicate function {fn.name!r}")
+        self.functions[fn.name] = fn
+        return fn
+
+    def add_data(self, obj: DataObject) -> DataObject:
+        if obj.name in self.data:
+            raise IRError(f"duplicate data object {obj.name!r}")
+        self.data[obj.name] = obj
+        return obj
+
+    def check(self) -> None:
+        for fn in self.functions.values():
+            fn.check()
+
+    def dump(self) -> str:
+        """Textual IR dump (the ``-fdump-tree`` analogue used by tests to
+        check what survives each pass)."""
+        parts = [f"; program {self.name}"]
+        for obj in self.data.values():
+            words = ", ".join(
+                f"@{w.symbol}" if isinstance(w, SymbolRef) else str(w)
+                for w in obj.words)
+            parts.append(f"{obj.section} {obj.name}: [{words}]")
+        for fn in self.functions.values():
+            parts.append(str(fn))
+        return "\n".join(parts)

@@ -1,0 +1,89 @@
+"""Dead code elimination (SSA mark & sweep).
+
+GCC's ``-fdce`` analogue and the pass the paper's §III experiment watches:
+*"In the dead code elimination file, we have found that code related to
+the unreachable state still exists, which means that GCC did not remove
+the dead code."*  The reason is visible right here: the roots of the mark
+phase are instructions with observable effects — stores, calls,
+terminators.  A ``case`` arm of a runtime ``switch`` contains calls and
+stores and its block is CFG-reachable, so nothing in it is dead even when
+no execution can ever set the state variable to that case's value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..gimple.ir import (GimpleFunction, Instr, Phi, Reg)
+
+__all__ = ["run_dce"]
+
+
+def run_dce(fn: GimpleFunction) -> int:
+    """Remove pure instructions whose results are never used.
+
+    Returns the number of instructions removed.
+    """
+    # Map each SSA name to its defining instruction.
+    defs: Dict[Reg, Tuple[str, Instr]] = {}
+    for label, block in fn.blocks.items():
+        for instr in block.instrs:
+            if instr.dst is not None:
+                defs[instr.dst] = (label, instr)
+
+    live: Set[int] = set()
+    work: List[Instr] = []
+
+    def mark(instr: Instr) -> None:
+        if id(instr) in live:
+            return
+        live.add(id(instr))
+        work.append(instr)
+
+    # Roots: side-effecting instructions and all terminator uses.
+    for block in fn.blocks.values():
+        for instr in block.instrs:
+            if instr.has_side_effects:
+                mark(instr)
+        for use in block.terminator.uses():
+            if use in defs:
+                mark(defs[use][1])
+
+    while work:
+        instr = work.pop()
+        uses = list(instr.uses())
+        if isinstance(instr, Phi):
+            uses = [v for v in instr.incoming.values()
+                    if isinstance(v, Reg)]
+        for use in uses:
+            if use in defs:
+                mark(defs[use][1])
+
+    # A register is "needed" when some live instruction or terminator
+    # reads it; call results that nobody reads are dropped (the call
+    # stays, its ``dst`` is cleared, and the backend emits no result move).
+    needed: Set[Reg] = set()
+    for block in fn.blocks.values():
+        for instr in block.instrs:
+            if id(instr) in live or instr.has_side_effects:
+                needed.update(instr.uses())
+                if isinstance(instr, Phi):
+                    needed.update(v for v in instr.incoming.values()
+                                  if isinstance(v, Reg))
+        needed.update(block.terminator.uses())
+
+    removed = 0
+    for block in fn.blocks.values():
+        kept = []
+        for instr in block.instrs:
+            if instr.dst is not None and id(instr) not in live \
+                    and not instr.has_side_effects:
+                removed += 1
+                continue
+            if instr.has_side_effects and instr.dst is not None \
+                    and instr.dst not in needed:
+                instr.dst = None
+                removed += 1
+            kept.append(instr)
+        block.instrs = kept
+    return removed

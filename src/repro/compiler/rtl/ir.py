@@ -1,0 +1,105 @@
+"""RTL: MGCC's low-level IR.
+
+Paper §II.C describes GCC's RTL as "a low-level representation [that]
+works well for optimizations that are close to the target".  MGCC's RTL
+is a linear instruction stream (with labels) over virtual registers that
+instruction selection produces from GIMPLE and that register allocation
+rewrites onto the RT32 register file.
+
+An :class:`RInstr` is deliberately generic — mnemonic plus def/use
+register lists, an optional immediate, symbol and branch target — so the
+register allocator and peephole passes can treat all instructions
+uniformly; the mnemonic's entry in :mod:`..target.rt32` fixes its size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from ..target.rt32 import insn_size
+
+__all__ = ["RInstr", "RTLFunction", "label", "is_branch"]
+
+_BRANCH_OPS = {"b", "bnez", "beqz", "jt", "ret",
+               "beq", "bne", "blt", "ble", "bgt", "bge",
+               "beqi", "bnei", "blti", "blei", "bgti", "bgei"}
+
+
+@dataclass
+class RInstr:
+    """One RTL instruction.
+
+    ``defs``/``uses`` hold register names: virtual (``v12``) before
+    allocation, physical (``s3``/``t0``) after.
+    """
+
+    op: str
+    defs: Tuple[str, ...] = ()
+    uses: Tuple[str, ...] = ()
+    imm: Optional[int] = None
+    symbol: Optional[str] = None
+    target: Optional[str] = None          # branch target label
+    table: Optional[Tuple[str, ...]] = None  # jump-table target labels
+    comment: str = ""
+
+    @property
+    def size(self) -> int:
+        return insn_size(self.op)
+
+    def rewrite_regs(self, mapping) -> "RInstr":
+        """Return a copy with registers substituted through *mapping*
+        (a callable name->name)."""
+        return replace(self,
+                       defs=tuple(mapping(r) for r in self.defs),
+                       uses=tuple(mapping(r) for r in self.uses))
+
+    def render(self) -> str:
+        """Assembly-listing line for this instruction."""
+        if self.op == "label":
+            return f"{self.target}:"
+        parts: List[str] = []
+        parts.extend(self.defs)
+        parts.extend(self.uses)
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        if self.symbol is not None:
+            parts.append(f"@{self.symbol}")
+        if self.target is not None:
+            parts.append(self.target)
+        text = f"    {self.op} " + ", ".join(parts)
+        if self.comment:
+            text += f"    ; {self.comment}"
+        return text
+
+
+def label(name: str) -> RInstr:
+    """A label pseudo-instruction (size 0)."""
+    return RInstr("label", target=name)
+
+
+def is_branch(instr: RInstr) -> bool:
+    return instr.op in _BRANCH_OPS
+
+
+@dataclass
+class RTLFunction:
+    """A function as a linear RTL stream."""
+
+    name: str
+    instrs: List[RInstr] = field(default_factory=list)
+    frame_slots: int = 0  # spill slots allocated by regalloc
+    saved_regs: Tuple[str, ...] = ()
+
+    def emit(self, instr: RInstr) -> RInstr:
+        self.instrs.append(instr)
+        return instr
+
+    @property
+    def text_size(self) -> int:
+        return sum(i.size for i in self.instrs)
+
+    def listing(self) -> str:
+        lines = [f"{self.name}:"]
+        lines.extend(i.render() for i in self.instrs)
+        return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""C++ subset: AST, type system, pretty printer."""
+
+from . import ast
+from .printer import print_expr, print_stmt, print_unit
+from .types import (ArrayType, BOOL, BoolType, ClassRefType, EnumType,
+                    FuncPtrType, INT, IntType, POINTER_SIZE, PointerType,
+                    Type, VOID, VoidType, size_of)
+
+__all__ = [
+    "ast", "print_expr", "print_stmt", "print_unit",
+    "ArrayType", "BOOL", "BoolType", "ClassRefType", "EnumType",
+    "FuncPtrType", "INT", "IntType", "POINTER_SIZE", "PointerType",
+    "Type", "VOID", "VoidType", "size_of",
+]

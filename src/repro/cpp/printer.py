@@ -1,0 +1,224 @@
+"""Pretty-printer: C++ subset AST -> compilable C++ source text.
+
+The experiments feed the AST straight into MGCC, but the printed form is
+what a user of the code generators would check into their firmware tree;
+examples print it, and golden tests pin the generator output shape.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from . import ast as cpp
+from .types import ArrayType, FuncPtrType, PointerType, Type
+
+__all__ = ["print_unit", "print_expr", "print_stmt"]
+
+_INDENT = "    "
+
+
+def print_expr(expr: cpp.Expr) -> str:
+    """Render one expression."""
+    if isinstance(expr, cpp.IntLit):
+        return str(expr.value)
+    if isinstance(expr, cpp.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, cpp.NullPtr):
+        return "0"
+    if isinstance(expr, cpp.EnumRef):
+        return expr.enumerator
+    if isinstance(expr, cpp.Var):
+        return expr.name
+    if isinstance(expr, cpp.ThisExpr):
+        return "this"
+    if isinstance(expr, cpp.FieldAccess):
+        return f"{_postfix(expr.obj)}->{expr.field_name}"
+    if isinstance(expr, cpp.Unary):
+        return f"{expr.op}{_prefix_operand(expr.operand)}"
+    if isinstance(expr, cpp.Binary):
+        return (f"{_operand(expr.lhs)} {expr.op} {_operand(expr.rhs)}")
+    if isinstance(expr, cpp.Call):
+        args = ", ".join(print_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, cpp.MethodCall):
+        args = ", ".join(print_expr(a) for a in expr.args)
+        return f"{_postfix(expr.obj)}->{expr.method}({args})"
+    if isinstance(expr, cpp.IndirectCall):
+        args = ", ".join(print_expr(a) for a in expr.args)
+        return f"({print_expr(expr.target)})({args})"
+    if isinstance(expr, cpp.Index):
+        return f"{_postfix(expr.array)}[{print_expr(expr.index)}]"
+    if isinstance(expr, cpp.AddrOf):
+        return f"&{_prefix_operand(expr.operand)}"
+    if isinstance(expr, cpp.FuncRef):
+        return f"&{expr.func}"
+    if isinstance(expr, cpp.Cast):
+        return f"({_type_name(expr.to)}){_prefix_operand(expr.operand)}"
+    raise TypeError(f"unprintable expression {expr!r}")
+
+
+def _operand(expr: cpp.Expr) -> str:
+    """Parenthesize non-atomic binary operands (conservative but readable)."""
+    text = print_expr(expr)
+    if isinstance(expr, (cpp.Binary,)):
+        return f"({text})"
+    return text
+
+
+def _prefix_operand(expr: cpp.Expr) -> str:
+    text = print_expr(expr)
+    if isinstance(expr, (cpp.Binary, cpp.Unary)):
+        return f"({text})"
+    return text
+
+
+def _postfix(expr: cpp.Expr) -> str:
+    text = print_expr(expr)
+    if isinstance(expr, (cpp.Binary, cpp.Unary, cpp.Cast, cpp.AddrOf)):
+        return f"({text})"
+    return text
+
+
+def _type_name(tp: Type, declarator: str = "") -> str:
+    """Render a type, wrapping *declarator* where C syntax requires."""
+    if isinstance(tp, ArrayType):
+        inner = _type_name(tp.element, f"{declarator}[{tp.length}]")
+        return inner
+    if isinstance(tp, FuncPtrType):
+        params = ", ".join(_type_name(p) for p in tp.params)
+        return f"{_type_name(tp.ret)} (*{declarator})({params})"
+    if isinstance(tp, PointerType):
+        base = _type_name(tp.pointee)
+        return f"{base}* {declarator}".rstrip() if declarator else f"{base}*"
+    base = str(tp)
+    return f"{base} {declarator}".rstrip() if declarator else base
+
+
+def _declare(tp: Type, name: str) -> str:
+    if isinstance(tp, (ArrayType, FuncPtrType)):
+        return _type_name(tp, name)
+    return f"{_type_name(tp)} {name}"
+
+
+def print_stmt(stmt: cpp.Stmt, indent: int = 0) -> List[str]:
+    """Render one statement as a list of lines."""
+    pad = _INDENT * indent
+    if isinstance(stmt, cpp.Block):
+        lines = [pad + "{"]
+        for inner in stmt.statements:
+            lines.extend(print_stmt(inner, indent + 1))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, cpp.ExprStmt):
+        return [f"{pad}{print_expr(stmt.expr)};"]
+    if isinstance(stmt, cpp.Assign):
+        return [f"{pad}{print_expr(stmt.lhs)} = {print_expr(stmt.rhs)};"]
+    if isinstance(stmt, cpp.VarDecl):
+        decl = _declare(stmt.var_type, stmt.name)
+        if stmt.init is not None:
+            return [f"{pad}{decl} = {print_expr(stmt.init)};"]
+        return [f"{pad}{decl};"]
+    if isinstance(stmt, cpp.If):
+        lines = [f"{pad}if ({print_expr(stmt.cond)})"]
+        lines.extend(print_stmt(stmt.then_body, indent))
+        if stmt.else_body is not None:
+            lines.append(f"{pad}else")
+            lines.extend(print_stmt(stmt.else_body, indent))
+        return lines
+    if isinstance(stmt, cpp.While):
+        lines = [f"{pad}while ({print_expr(stmt.cond)})"]
+        lines.extend(print_stmt(stmt.body, indent))
+        return lines
+    if isinstance(stmt, cpp.Switch):
+        lines = [f"{pad}switch ({print_expr(stmt.subject)})", pad + "{"]
+        for case in stmt.cases:
+            for value in case.values:
+                lines.append(f"{pad}case {print_expr(value)}:")
+            for inner in case.body.statements:
+                lines.extend(print_stmt(inner, indent + 1))
+            if not case.falls_through:
+                lines.append(f"{_INDENT * (indent + 1)}break;")
+        if stmt.default is not None:
+            lines.append(f"{pad}default:")
+            for inner in stmt.default.statements:
+                lines.extend(print_stmt(inner, indent + 1))
+            lines.append(f"{_INDENT * (indent + 1)}break;")
+        lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, cpp.Break):
+        return [f"{pad}break;"]
+    if isinstance(stmt, cpp.Return):
+        if stmt.value is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {print_expr(stmt.value)};"]
+    raise TypeError(f"unprintable statement {stmt!r}")
+
+
+def _print_initializer(init: Union[cpp.Expr, cpp.Initializer]) -> str:
+    if isinstance(init, cpp.StructInit):
+        return "{ " + ", ".join(_print_initializer(v)
+                                for v in init.values) + " }"
+    if isinstance(init, cpp.ArrayInit):
+        return "{\n    " + ",\n    ".join(
+            _print_initializer(v) for v in init.elements) + "\n}"
+    return print_expr(init)
+
+
+def _print_method(cls: cpp.ClassDecl, method: cpp.Method,
+                  lines: List[str]) -> None:
+    qual = "static " if method.is_static else (
+        "virtual " if method.is_virtual else "")
+    params = ", ".join(_declare(p.param_type, p.name)
+                       for p in method.params)
+    ret = _type_name(method.ret)
+    if method.body is None:
+        lines.append(f"{_INDENT}{qual}{ret} {method.name}({params}) = 0;")
+        return
+    lines.append(f"{_INDENT}{qual}{ret} {method.name}({params})")
+    for line in print_stmt(method.body, 1):
+        lines.append(line)
+
+
+def print_unit(unit: cpp.TranslationUnit) -> str:
+    """Render a translation unit as C++ source text."""
+    lines: List[str] = [f"// generated translation unit: {unit.name}", ""]
+    for enum in unit.enums:
+        lines.append(f"enum {enum.name}" + " {")
+        for i, enumerator in enumerate(enum.enumerators):
+            comma = "," if i + 1 < len(enum.enumerators) else ""
+            lines.append(f"{_INDENT}{enumerator} = {i}{comma}")
+        lines.append("};")
+        lines.append("")
+    for ext in unit.externs:
+        params = ", ".join(_declare(p.param_type, p.name)
+                           for p in ext.params)
+        lines.append(f'extern "C" {_type_name(ext.ret)} '
+                     f'{ext.name}({params});')
+    if unit.externs:
+        lines.append("")
+    for cls in unit.classes:
+        base = f" : public {cls.base}" if cls.base else ""
+        lines.append(f"class {cls.name}{base}" + " {")
+        lines.append("public:")
+        for fld in cls.fields:
+            lines.append(f"{_INDENT}{_declare(fld.field_type, fld.name)};")
+        for method in cls.methods:
+            _print_method(cls, method, lines)
+        lines.append("};")
+        lines.append("")
+    for gv in unit.globals:
+        const = "const " if gv.is_const else ""
+        decl = _declare(gv.var_type, gv.name)
+        if gv.init is not None:
+            lines.append(f"{const}{decl} = {_print_initializer(gv.init)};")
+        else:
+            lines.append(f"{const}{decl};")
+    if unit.globals:
+        lines.append("")
+    for fn in unit.functions:
+        params = ", ".join(_declare(p.param_type, p.name)
+                           for p in fn.params)
+        lines.append(f"{_type_name(fn.ret)} {fn.name}({params})")
+        lines.extend(print_stmt(fn.body, 0))
+        lines.append("")
+    return "\n".join(lines)

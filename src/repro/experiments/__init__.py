@@ -1,0 +1,15 @@
+"""Experiment harnesses regenerating the paper's tables and figures."""
+
+from .models import (flat_machine_with_unreachable_state,
+                     flat_machine_optimized_by_hand,
+                     hierarchical_machine_with_shadowed_composite,
+                     hierarchical_machine_optimized_by_hand)
+from .workload import WorkloadSpec, generate_machine
+
+__all__ = [
+    "flat_machine_with_unreachable_state",
+    "flat_machine_optimized_by_hand",
+    "hierarchical_machine_with_shadowed_composite",
+    "hierarchical_machine_optimized_by_hand",
+    "WorkloadSpec", "generate_machine",
+]

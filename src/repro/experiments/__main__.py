@@ -1,0 +1,17 @@
+"""Run every experiment harness: ``python -m repro.experiments``."""
+
+from . import figure1, sweeps, table1, table2
+
+
+def main() -> None:
+    for title, module in (("FIGURE 1", figure1), ("TABLE 1", table1),
+                          ("TABLE 2", table2), ("SWEEPS", sweeps)):
+        print("#" * 72)
+        print(f"# {title}")
+        print("#" * 72)
+        print(module.main())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""The paper's example models (Figure 1) and close variants.
+
+Figure 1, top-left ("flat"): a diagram with *"3 states, 2 pseudo states
+(initial and final states) and 5 transitions"* where *"S2 is an
+unreachable state because it has no incoming transitions"* (§III.A).
+
+Figure 1, second row ("hierarchical"): *"There are two outgoing
+transitions from State S2.  To move from S2 to S3, event e2 is needed,
+however we do not need a particular event to move from S2 to final state.
+This particular transition is called a completion transition.  According
+to the UML semantic, the completion transition is first fired whatever
+the received event is.  It means that our composite state S3 is never
+active."* (§III.C)
+
+States carry entry/exit behaviors calling opaque platform operations so
+the generated code has realistic bodies: the paper's states are RTES
+control states, not empty shells — its flat 3-state machine compiles to
+12 669 bytes under Nested Switch, which implies several actions per
+state.  ``_state_behaviors`` gives every state a small bundle of platform
+calls (actuator command, logging, watchdog kick), the archetypal RTES
+control-state body.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..uml import Behavior, StateMachineBuilder, StateMachine, calls
+
+__all__ = [
+    "flat_machine_with_unreachable_state",
+    "flat_machine_optimized_by_hand",
+    "hierarchical_machine_with_shadowed_composite",
+    "hierarchical_machine_optimized_by_hand",
+]
+
+
+def _state_behaviors(name: str) -> Tuple[Behavior, Behavior]:
+    """(entry, exit) behavior bundle of one RTES control state."""
+    entry = calls(f"{name}_enter_action", f"{name}_configure_io",
+                  f"{name}_log_entry")
+    exit_ = calls(f"{name}_exit_action", f"{name}_log_exit")
+    return entry, exit_
+
+
+def _rtes_state(builder, name: str):
+    entry, exit_ = _state_behaviors(name.lower())
+    return builder.state(name, entry=entry, exit=exit_)
+
+
+def flat_machine_with_unreachable_state() -> StateMachine:
+    """Figure 1, top row: flat machine whose state S2 is unreachable.
+
+    Structure: 3 states, initial + final pseudostates, 5 transitions
+    (initial->S1, S1-e1->S3, S3-e3->S1, S2-e2->S3, S3-e4->final).
+    """
+    b = StateMachineBuilder("Fig1Flat")
+    _rtes_state(b, "S1")
+    _rtes_state(b, "S2")
+    _rtes_state(b, "S3")
+    b.initial_to("S1")
+    b.transition("S1", "S3", on="e1", effect=calls("t_s1_s3_effect"))
+    b.transition("S3", "S1", on="e3", effect=calls("t_s3_s1_effect"))
+    b.transition("S2", "S3", on="e2", effect=calls("t_s2_s3_effect"))
+    b.transition("S3", "final", on="e4")
+    return b.build()
+
+
+def flat_machine_optimized_by_hand() -> StateMachine:
+    """The flat machine after manually removing S2 (reference result the
+    optimizer output is compared against in tests)."""
+    b = StateMachineBuilder("Fig1FlatOpt")
+    _rtes_state(b, "S1")
+    _rtes_state(b, "S3")
+    b.initial_to("S1")
+    b.transition("S1", "S3", on="e1", effect=calls("t_s1_s3_effect"))
+    b.transition("S3", "S1", on="e3", effect=calls("t_s3_s1_effect"))
+    b.transition("S3", "final", on="e4")
+    return b.build()
+
+
+def hierarchical_machine_with_shadowed_composite() -> StateMachine:
+    """Figure 1, second row: composite S3 is never active because S2's
+    unguarded completion transition preempts the e2 trigger.
+
+    The composite carries a three-state submachine so that — as in the
+    paper — removing it deletes a whole generated class.
+    """
+    b = StateMachineBuilder("Fig1Hier")
+    _rtes_state(b, "S1")
+    _rtes_state(b, "S2")
+    s3_entry, s3_exit = _state_behaviors("s3")
+    sub = b.composite("S3", entry=s3_entry, exit=s3_exit)
+    _rtes_state(sub, "S31")
+    _rtes_state(sub, "S32")
+    _rtes_state(sub, "S33")
+    sub.initial_to("S31")
+    sub.transition("S31", "S32", on="e5", effect=calls("t_s31_s32_effect"))
+    sub.transition("S32", "S33", on="e6", effect=calls("t_s32_s33_effect"))
+    sub.transition("S33", "final", on="e7")
+    b.initial_to("S1")
+    b.transition("S1", "S2", on="e1", effect=calls("t_s1_s2_effect"))
+    b.transition("S2", "S3", on="e2", effect=calls("t_s2_s3_effect"))
+    b.completion("S2", "final")   # shadows the e2 transition above
+    b.transition("S3", "S1", on="e3", effect=calls("t_s3_s1_effect"))
+    return b.build()
+
+
+def hierarchical_machine_optimized_by_hand() -> StateMachine:
+    """The hierarchical machine after removing the shadowed transition,
+    the never-active composite S3 and its whole submachine."""
+    b = StateMachineBuilder("Fig1HierOpt")
+    _rtes_state(b, "S1")
+    _rtes_state(b, "S2")
+    b.initial_to("S1")
+    b.transition("S1", "S2", on="e1", effect=calls("t_s1_s2_effect"))
+    b.completion("S2", "final")
+    return b.build()

@@ -1,0 +1,22 @@
+"""Model-level optimization framework (the paper's contribution)."""
+
+from .advisor import Suggestion, auto_optimize, suggest_optimizations
+from .equivalence import EquivalenceReport, check_equivalence, make_scenarios
+from .manager import (DEFAULT_PIPELINE, OptimizationReport, PassManager,
+                      default_pass_catalog, optimize)
+from .pass_base import ModelPass, PassResult
+from .passes import (FlattenTrivialComposites, MergeFinalStates,
+                     RemoveDeadComposites, RemoveShadowedTransitions,
+                     RemoveUnreachableStates, RemoveUnusedEvents,
+                     SimplifyGuards)
+
+__all__ = [
+    "Suggestion", "auto_optimize", "suggest_optimizations",
+    "EquivalenceReport", "check_equivalence", "make_scenarios",
+    "DEFAULT_PIPELINE", "OptimizationReport", "PassManager",
+    "default_pass_catalog", "optimize",
+    "ModelPass", "PassResult",
+    "FlattenTrivialComposites", "MergeFinalStates", "RemoveDeadComposites",
+    "RemoveShadowedTransitions", "RemoveUnreachableStates",
+    "RemoveUnusedEvents", "SimplifyGuards",
+]

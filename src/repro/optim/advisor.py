@@ -1,0 +1,121 @@
+"""Automatic optimization selection (the paper's §VI perspective).
+
+"In the current version of our optimization tool, the users choose
+manually the optimizations to perform.  We plan to improve our tool in a
+way that it automatically executes optimizations that correspond to the
+UML model."
+
+The advisor inspects a machine with the :mod:`repro.analysis` passes and
+returns exactly the optimizations that will change it, each with the
+reason it applies — so a user (or CI bot) can run a minimal, explained
+pipeline instead of the full fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis.completion import analyze_completion
+from ..analysis.reachability import analyze_reachability
+from ..semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
+from ..uml.actions import BoolLit, const_fold
+from ..uml.statemachine import StateMachine
+from .manager import OptimizationReport, optimize
+from .passes.flatten import _trivial_substate
+
+__all__ = ["Suggestion", "suggest_optimizations", "auto_optimize"]
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One recommended pass with its model-specific justification."""
+
+    pass_name: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.pass_name}: {self.reason}"
+
+
+def suggest_optimizations(machine: StateMachine,
+                          semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS,
+                          ) -> List[Suggestion]:
+    """Return the passes that will actually change *machine*, in the
+    order the default pipeline would run them."""
+    suggestions: List[Suggestion] = []
+
+    foldable = 0
+    false_guards = 0
+    for tr in machine.all_transitions():
+        if tr.guard is None:
+            continue
+        folded = const_fold(tr.guard)
+        if folded != tr.guard:
+            foldable += 1
+        if isinstance(folded, BoolLit) and folded.value is False:
+            false_guards += 1
+    if foldable:
+        suggestions.append(Suggestion(
+            "simplify-guards",
+            f"{foldable} guard(s) fold to simpler forms"
+            + (f", {false_guards} to false" if false_guards else "")))
+
+    if semantics.completion_priority:
+        info = analyze_completion(machine)
+        if info.shadowed_transitions:
+            states = ", ".join(sorted(info.always_completing))
+            suggestions.append(Suggestion(
+                "remove-shadowed-transitions",
+                f"{len(info.shadowed_transitions)} event transition(s) "
+                f"preempted by completion transitions of: {states}"))
+
+    reach = analyze_reachability(
+        machine,
+        respect_completion_shadowing=semantics.completion_priority)
+    if reach.unreachable_states:
+        suggestions.append(Suggestion(
+            "remove-unreachable-states",
+            f"unreachable state(s): "
+            f"{', '.join(reach.unreachable_states)}"))
+
+    for region in machine.all_regions():
+        if len(region.final_states()) > 1:
+            suggestions.append(Suggestion(
+                "merge-final-states",
+                f"region {region.label!r} has "
+                f"{len(region.final_states())} final states"))
+            break
+
+    for state in machine.all_states():
+        if state.is_composite and _trivial_substate(state) is not None:
+            suggestions.append(Suggestion(
+                "flatten-trivial-composites",
+                f"composite {state.name!r} wraps a single simple state"))
+            break
+
+    used = {trig.key() for tr in machine.all_transitions()
+            for trig in tr.triggers}
+    orphans = [e.name for k, e in machine.events.items() if k not in used]
+    # Events may still be needed by transitions the structural passes
+    # remove - suggest the cleanup pass whenever the pipeline contains a
+    # structural pass or an orphan already exists.
+    structural = {"remove-shadowed-transitions", "remove-unreachable-states"}
+    if orphans or any(s.pass_name in structural for s in suggestions):
+        reason = (f"declared-but-unused event(s): {', '.join(orphans)}"
+                  if orphans else
+                  "structural passes will orphan trigger events")
+        suggestions.append(Suggestion("remove-unused-events", reason))
+    return suggestions
+
+
+def auto_optimize(machine: StateMachine,
+                  semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS,
+                  ) -> OptimizationReport:
+    """§VI realized: analyze, select, run — no manual pass choice."""
+    suggestions = suggest_optimizations(machine, semantics)
+    if not suggestions:
+        return optimize(machine, selection=[], semantics=semantics)
+    return optimize(machine,
+                    selection=[s.pass_name for s in suggestions],
+                    semantics=semantics)

@@ -1,0 +1,19 @@
+"""Built-in model optimization passes."""
+
+from .dead_composites import RemoveDeadComposites
+from .flatten import FlattenTrivialComposites
+from .guard_simplify import SimplifyGuards
+from .merge_final_states import MergeFinalStates
+from .remove_unused_events import RemoveUnusedEvents
+from .shadowed_transitions import RemoveShadowedTransitions
+from .unreachable_states import RemoveUnreachableStates
+
+__all__ = [
+    "RemoveDeadComposites",
+    "FlattenTrivialComposites",
+    "SimplifyGuards",
+    "MergeFinalStates",
+    "RemoveUnusedEvents",
+    "RemoveShadowedTransitions",
+    "RemoveUnreachableStates",
+]

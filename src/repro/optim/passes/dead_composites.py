@@ -1,0 +1,48 @@
+"""Pass: remove never-active composite states.
+
+A focused variant of unreachable-state elimination that the paper calls
+out separately because its payoff is disproportionate: *"each composite
+state has a reference to a C++ class that implements the submachine.
+When we optimize the model, the whole class is removed"* (§III.C).
+
+The pass combines the shadowing and reachability analyses but deletes
+**only composite states**, leaving flat dead states alone.  It exists for
+ablation studies (how much of the gain comes from composites vs. flat
+states); the full pipeline subsumes it.
+"""
+
+from __future__ import annotations
+
+from ...analysis.reachability import analyze_reachability
+from ...semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
+from ...uml.statemachine import StateMachine
+from ..pass_base import ModelPass, PassResult, remove_vertex_with_transitions
+
+__all__ = ["RemoveDeadComposites"]
+
+
+class RemoveDeadComposites(ModelPass):
+    """Delete composite states that can never become active (their whole
+    submachine class disappears from the generated code)."""
+
+    name = "remove-dead-composites"
+    description = ("delete never-active composite states together with "
+                   "their submachines (paper: the whole submachine class "
+                   "is removed)")
+    requires_completion_priority = True
+
+    def run(self, machine: StateMachine,
+            semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS) -> PassResult:
+        result = PassResult(self.name)
+        while True:
+            info = analyze_reachability(machine,
+                                        respect_completion_shadowing=True)
+            doomed = [s for s in machine.all_states()
+                      if s.is_composite and not info.is_reachable(s)
+                      and not any(not info.is_reachable(a)
+                                  for a in s.ancestors())]
+            if not doomed:
+                break
+            for state in doomed:
+                remove_vertex_with_transitions(state, result)
+        return result

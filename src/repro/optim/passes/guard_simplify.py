@@ -1,0 +1,56 @@
+"""Pass: simplify guards and prune statically-false transitions.
+
+Model-level constant folding over guard expressions:
+
+* a guard that folds to ``true`` is dropped (the transition becomes
+  unguarded — which can *strengthen* completion shadowing and unlock the
+  hierarchical optimizations);
+* a transition whose guard folds to ``false`` can never fire and is
+  removed;
+* any other guard is replaced by its folded form (smaller generated
+  condition code).
+
+This mirrors what GCC's CCP does at SSA level, but, done on the model, its
+effects compound with the structural passes — the compiler never gets the
+chance because the guard feeds a runtime event dispatch it cannot see
+through (paper §III.D).
+"""
+
+from __future__ import annotations
+
+from ...semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
+from ...uml.actions import BoolLit, const_fold
+from ...uml.statemachine import StateMachine
+from ..pass_base import ModelPass, PassResult
+
+__all__ = ["SimplifyGuards"]
+
+
+class SimplifyGuards(ModelPass):
+    """Constant-fold guards; drop true guards; prune false transitions."""
+
+    name = "simplify-guards"
+    description = ("constant-fold guard expressions, drop tautological "
+                   "guards and delete transitions that can never fire")
+
+    def run(self, machine: StateMachine,
+            semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS) -> PassResult:
+        result = PassResult(self.name)
+        for region in machine.all_regions():
+            for tr in list(region.transitions):
+                if tr.guard is None:
+                    continue
+                folded = const_fold(tr.guard)
+                if isinstance(folded, BoolLit):
+                    if folded.value:
+                        tr.guard = None
+                        result.simplified_guards += 1
+                        result.changed = True
+                    else:
+                        region.remove_transition(tr)
+                        result.record_transition(tr.describe())
+                elif folded != tr.guard:
+                    tr.guard = folded
+                    result.simplified_guards += 1
+                    result.changed = True
+        return result

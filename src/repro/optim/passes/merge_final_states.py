@@ -1,0 +1,41 @@
+"""Pass: merge duplicate final states within a region.
+
+Hand-drawn diagrams (and generated workloads) often contain several final
+states in one region for layout reasons.  They are semantically identical
+— entering any of them completes the region — so all incoming transitions
+can be retargeted to a single final state and the duplicates dropped.
+Each removed vertex removes one dispatch entry from the generated code.
+"""
+
+from __future__ import annotations
+
+from ...semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
+from ...uml.statemachine import StateMachine
+from ..pass_base import ModelPass, PassResult
+
+__all__ = ["MergeFinalStates"]
+
+
+class MergeFinalStates(ModelPass):
+    """Keep one final state per region; retarget and drop the rest."""
+
+    name = "merge-final-states"
+    description = ("merge duplicate final states of a region into one "
+                   "(they are observationally identical)")
+
+    def run(self, machine: StateMachine,
+            semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS) -> PassResult:
+        result = PassResult(self.name)
+        for region in machine.all_regions():
+            finals = region.final_states()
+            if len(finals) <= 1:
+                continue
+            keeper, duplicates = finals[0], finals[1:]
+            for dup in duplicates:
+                for tr in dup.incoming():
+                    tr.target = keeper
+                region.remove_vertex(dup)
+                result.changed = True
+                result.note(f"merged final state {dup.label} into "
+                            f"{keeper.label} in region {region.label}")
+        return result

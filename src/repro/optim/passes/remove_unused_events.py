@@ -1,0 +1,49 @@
+"""Pass: drop events that no live transition is triggered by.
+
+Code generators emit one event enumerator (and, for the state-table
+pattern, one table column / dispatch row family) per declared event.
+After dead transitions are removed, events that trigger nothing remain in
+the machine's alphabet and keep generating dispatch plumbing; this pass
+prunes them.
+"""
+
+from __future__ import annotations
+
+from ...semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
+from ...uml.actions import EmitStmt
+from ...uml.statemachine import StateMachine
+from ..pass_base import ModelPass, PassResult
+
+__all__ = ["RemoveUnusedEvents"]
+
+
+class RemoveUnusedEvents(ModelPass):
+    """Remove alphabet events that trigger no transition and are never
+    emitted by a behavior."""
+
+    name = "remove-unused-events"
+    description = ("drop declared events no transition is triggered by "
+                   "(shrinks event enums and dispatch tables)")
+
+    def run(self, machine: StateMachine,
+            semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS) -> PassResult:
+        result = PassResult(self.name)
+        used = set()
+        for tr in machine.all_transitions():
+            for trig in tr.triggers:
+                used.add(trig.key())
+        emitted = set()
+        behaviors = []
+        for state in machine.all_states():
+            behaviors.extend([state.entry, state.exit, state.do_activity])
+        for tr in machine.all_transitions():
+            behaviors.append(tr.effect)
+        for behavior in behaviors:
+            for stmt in behavior.statements:
+                if isinstance(stmt, EmitStmt):
+                    emitted.add(stmt.event_name)
+        for key, event in list(machine.events.items()):
+            if key not in used and event.name not in emitted:
+                del machine.events[key]
+                result.record_event(event.name)
+        return result

@@ -1,0 +1,125 @@
+"""High-level pipeline API: model -> (optimize) -> generate -> compile.
+
+This is the paper's "two step optimization approach" (§VI) in one call:
+optimizations are performed **both** at the model level (:mod:`repro.optim`)
+and in the compiler (:mod:`repro.compiler` at ``-Os``), and the existing
+compiler optimizations are reused as they are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .codegen import CodeGenerator, generator_by_name
+from .compiler import CompileResult, OptLevel, compile_unit
+from .optim import OptimizationReport, check_equivalence, optimize
+from .optim.equivalence import EquivalenceReport
+from .semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
+from .uml.statemachine import StateMachine
+
+__all__ = ["PipelineResult", "CompareResult", "compile_machine",
+           "run_pipeline", "optimize_and_compare"]
+
+
+@dataclass
+class PipelineResult:
+    """Artifacts of one model -> assembly run."""
+
+    machine: StateMachine
+    pattern: str
+    opt_level: OptLevel
+    model_report: Optional[OptimizationReport]
+    compile_result: CompileResult
+
+    @property
+    def total_size(self) -> int:
+        return self.compile_result.total_size
+
+    def summary(self) -> str:
+        lines = [f"{self.machine.name} [{self.pattern}, "
+                 f"{self.opt_level.value}] -> {self.total_size} bytes"]
+        if self.model_report is not None and self.model_report.changed:
+            lines.append(self.model_report.summary())
+        return "\n".join(lines)
+
+
+def compile_machine(machine: StateMachine, pattern: str = "nested-switch",
+                    level: OptLevel = OptLevel.OS,
+                    capture_dumps: bool = False) -> CompileResult:
+    """Generate code for *machine* with *pattern* and compile it."""
+    generator = generator_by_name(pattern)
+    unit = generator.generate(machine)
+    return compile_unit(unit, level, capture_dumps=capture_dumps)
+
+
+def run_pipeline(machine: StateMachine, pattern: str = "nested-switch",
+                 level: OptLevel = OptLevel.OS,
+                 model_optimizations: Optional[Sequence[str]] = None,
+                 optimize_model: bool = True,
+                 semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS,
+                 ) -> PipelineResult:
+    """The full two-step pipeline.
+
+    ``optimize_model=False`` reproduces the paper's baseline (compiler
+    optimizations only); the default runs the model-level pipeline first.
+    """
+    report: Optional[OptimizationReport] = None
+    target = machine
+    if optimize_model:
+        report = optimize(machine, selection=model_optimizations,
+                          semantics=semantics)
+        target = report.optimized
+    compile_result = compile_machine(target, pattern=pattern, level=level)
+    return PipelineResult(machine=machine, pattern=pattern, opt_level=level,
+                          model_report=report,
+                          compile_result=compile_result)
+
+
+@dataclass
+class CompareResult:
+    """Non-optimized vs model-optimized comparison for one pattern."""
+
+    machine_name: str
+    pattern: str
+    size_before: int
+    size_after: int
+    model_report: OptimizationReport
+    equivalence: EquivalenceReport
+
+    @property
+    def gain_bytes(self) -> int:
+        return self.size_before - self.size_after
+
+    @property
+    def gain_percent(self) -> float:
+        if self.size_before == 0:
+            return 0.0
+        return 100.0 * self.gain_bytes / self.size_before
+
+    def summary(self) -> str:
+        return (f"{self.machine_name} [{self.pattern}]: "
+                f"{self.size_before} -> {self.size_after} bytes "
+                f"({self.gain_percent:.2f} % smaller); "
+                f"{self.equivalence.summary()}")
+
+
+def optimize_and_compare(machine: StateMachine,
+                         pattern: str = "nested-switch",
+                         level: OptLevel = OptLevel.OS,
+                         model_optimizations: Optional[Sequence[str]] = None,
+                         check_behavior: bool = True,
+                         ) -> CompareResult:
+    """The paper's experiment, end to end: compile the model as-is and
+    after model-level optimization, compare assembly sizes, and verify
+    the optimization was behaviour-preserving."""
+    report = optimize(machine, selection=model_optimizations)
+    size_before = compile_machine(machine, pattern, level).total_size
+    size_after = compile_machine(report.optimized, pattern, level).total_size
+    if check_behavior:
+        equivalence = check_equivalence(machine, report.optimized)
+    else:
+        equivalence = EquivalenceReport()
+    return CompareResult(machine_name=machine.name, pattern=pattern,
+                         size_before=size_before, size_after=size_after,
+                         model_report=report, equivalence=equivalence)

@@ -1,0 +1,13 @@
+"""Executable semantics: variation points, interpreter, traces."""
+
+from .runtime import ExecutionError, MachineInstance, run_scenario
+from .trace import Trace, TraceKind, TraceRecord, observable_equal
+from .variation import (ConflictPolicy, EventPoolPolicy, SemanticsConfig,
+                        UnconsumedPolicy, UML_DEFAULT_SEMANTICS)
+
+__all__ = [
+    "ExecutionError", "MachineInstance", "run_scenario",
+    "Trace", "TraceKind", "TraceRecord", "observable_equal",
+    "ConflictPolicy", "EventPoolPolicy", "SemanticsConfig",
+    "UnconsumedPolicy", "UML_DEFAULT_SEMANTICS",
+]

@@ -1,0 +1,60 @@
+"""UML 2.x state-machine metamodel subset.
+
+Public API::
+
+    from repro.uml import (StateMachineBuilder, StateMachine, State,
+                           SignalEvent, parse_expr, validate_machine,
+                           dumps_machine, loads_machine, clone_machine)
+"""
+
+from .actions import (Assign, Behavior, BinOp, BoolLit, CallExpr, CallStmt,
+                      EmitStmt, EvalError, Expr, IntLit, ParseError, Stmt,
+                      UnaryOp, VarRef, const_fold, eval_expr, free_variables,
+                      called_functions, parse_expr, TRUE_GUARD, FALSE_GUARD)
+from .builder import RegionBuilder, StateMachineBuilder, calls, effect
+from .elements import Element, ModelError, NamedElement
+from .events import (AnyEvent, CallEvent, CompletionEvent, Event, SignalEvent,
+                     TimeEvent)
+from .serialize import (dumps_machine, load_machine, loads_machine,
+                        machine_from_dict, machine_to_dict, save_machine)
+from .statemachine import (ContextClass, FinalState, Pseudostate,
+                           PseudostateKind, Region, State, StateMachine,
+                           Vertex)
+from .transitions import Transition, TransitionKind
+from .validate import (ValidationError, ValidationIssue, check_machine,
+                       validate_machine)
+
+__all__ = [
+    # actions
+    "Assign", "Behavior", "BinOp", "BoolLit", "CallExpr", "CallStmt",
+    "EmitStmt", "EvalError", "Expr", "IntLit", "ParseError", "Stmt",
+    "UnaryOp", "VarRef", "const_fold", "eval_expr", "free_variables",
+    "called_functions", "parse_expr", "TRUE_GUARD", "FALSE_GUARD",
+    # builder
+    "RegionBuilder", "StateMachineBuilder", "calls", "effect",
+    # elements
+    "Element", "ModelError", "NamedElement",
+    # events
+    "AnyEvent", "CallEvent", "CompletionEvent", "Event", "SignalEvent",
+    "TimeEvent",
+    # serialization
+    "dumps_machine", "load_machine", "loads_machine", "machine_from_dict",
+    "machine_to_dict", "save_machine", "clone_machine",
+    # state machine
+    "ContextClass", "FinalState", "Pseudostate", "PseudostateKind", "Region",
+    "State", "StateMachine", "Vertex",
+    # transitions
+    "Transition", "TransitionKind",
+    # validation
+    "ValidationError", "ValidationIssue", "check_machine", "validate_machine",
+]
+
+
+def clone_machine(machine: "StateMachine") -> "StateMachine":
+    """Deep-copy a state machine via serialization round-trip.
+
+    The optimizer uses this so that model transformations never mutate the
+    caller's original model (the paper's tool likewise "generates the
+    optimized model" as a new artifact).
+    """
+    return machine_from_dict(machine_to_dict(machine))

@@ -1,0 +1,98 @@
+"""Base classes of the UML metamodel subset.
+
+The reproduction models the part of UML 2.x that the paper exercises:
+state machines (states, regions, pseudostates, transitions, events) plus a
+small action language used for guards and effects.  Every model object
+derives from :class:`Element`, which provides identity, ownership and a
+stable ``qualified_name`` used in diagnostics and serialization.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional
+
+__all__ = ["Element", "NamedElement", "ModelError", "fresh_id"]
+
+_id_counter = itertools.count(1)
+
+
+def fresh_id() -> int:
+    """Return a process-unique integer id for a new model element."""
+    return next(_id_counter)
+
+
+class ModelError(Exception):
+    """Raised for structurally invalid model constructions or lookups."""
+
+
+class Element:
+    """Root of the metamodel hierarchy.
+
+    Elements form an ownership tree: each element knows its ``owner`` and
+    can enumerate ``owned_elements``.  Ownership is maintained by the
+    concrete containers (regions own vertices and transitions, state
+    machines own regions, ...).
+    """
+
+    def __init__(self) -> None:
+        self.element_id: int = fresh_id()
+        self.owner: Optional["Element"] = None
+
+    # -- ownership ----------------------------------------------------
+    def owned_elements(self) -> Iterator["Element"]:
+        """Iterate over directly owned elements (default: none)."""
+        return iter(())
+
+    def all_owned_elements(self) -> Iterator["Element"]:
+        """Iterate over the transitive closure of owned elements."""
+        for child in self.owned_elements():
+            yield child
+            yield from child.all_owned_elements()
+
+    def owner_chain(self) -> Iterator["Element"]:
+        """Iterate from this element's owner up to the model root."""
+        cur = self.owner
+        while cur is not None:
+            yield cur
+            cur = cur.owner
+
+    def root(self) -> "Element":
+        """Return the topmost owner (the element itself if unowned)."""
+        node: Element = self
+        for anc in self.owner_chain():
+            node = anc
+        return node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} #{self.element_id}>"
+
+
+class NamedElement(Element):
+    """An element with a (possibly empty) name.
+
+    ``qualified_name`` joins the names of the ownership chain with ``::``
+    like UML tools do; anonymous ancestors contribute a placeholder based
+    on their metaclass so qualified names stay unique enough for error
+    messages.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__()
+        self.name = name
+
+    @property
+    def label(self) -> str:
+        """Name if present, otherwise a metaclass-based placeholder."""
+        return self.name or f"<{type(self).__name__.lower()}#{self.element_id}>"
+
+    @property
+    def qualified_name(self) -> str:
+        parts = [self.label]
+        for anc in self.owner_chain():
+            if isinstance(anc, NamedElement):
+                parts.append(anc.label)
+        return "::".join(reversed(parts))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.qualified_name!r}>"

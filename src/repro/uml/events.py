@@ -1,0 +1,73 @@
+"""Event kinds of the UML subset.
+
+The paper's state machines react to *signal events* (``e1``, ``e2`` ...)
+and to the implicit *completion event* generated when a state finishes its
+entry behavior (and, for composites, when its regions reach their final
+states).  ``TimeEvent`` and ``CallEvent`` are provided for completeness of
+the metamodel and used by examples; the interpreter treats a time event as
+a distinguished named event whose dispatch the test bench controls.
+"""
+
+from __future__ import annotations
+
+from .elements import NamedElement
+
+__all__ = ["Event", "SignalEvent", "CallEvent", "TimeEvent", "CompletionEvent",
+           "AnyEvent"]
+
+
+class Event(NamedElement):
+    """Abstract event.  Events are identified by name within a machine."""
+
+    def matches(self, other: "Event") -> bool:
+        """Trigger matching: same kind and same name."""
+        return type(self) is type(other) and self.name == other.name
+
+    def key(self) -> str:
+        """Stable key used by dispatch tables and code generation."""
+        return f"{type(self).__name__}:{self.name}"
+
+
+class SignalEvent(Event):
+    """Asynchronous signal reception (the common case in the paper)."""
+
+
+class CallEvent(Event):
+    """Synchronous operation call event."""
+
+
+class TimeEvent(Event):
+    """Relative time event (``after(duration)``).
+
+    ``duration_ms`` is informational; the interpreter fires the event when
+    the test environment dispatches it, as the paper's experiments are not
+    timing-sensitive.
+    """
+
+    def __init__(self, name: str = "", duration_ms: int = 0) -> None:
+        super().__init__(name or f"after_{duration_ms}ms")
+        self.duration_ms = duration_ms
+
+
+class CompletionEvent(Event):
+    """The implicit completion event of a state.
+
+    Never appears in a trigger list; transitions with *no* trigger are
+    completion transitions and are dispatched on this event.  UML gives
+    completion events priority over any pooled event — the property that
+    makes the paper's composite state ``S3`` unreachable.
+    """
+
+    def __init__(self, state_name: str = "") -> None:
+        super().__init__(f"__completion__({state_name})")
+        self.state_name = state_name
+
+
+class AnyEvent(Event):
+    """Wildcard trigger (UML ``all`` / ``*``): matches any signal event."""
+
+    def __init__(self) -> None:
+        super().__init__("*")
+
+    def matches(self, other: Event) -> bool:
+        return isinstance(other, (SignalEvent, CallEvent, TimeEvent))

@@ -1,0 +1,332 @@
+"""JSON serialization of state machines ("XMI-lite").
+
+The paper's tooling exchanges models as Papyrus XMI files.  For the
+reproduction a compact JSON document serves the same purpose: it lets the
+optimizer framework snapshot/restore models, enables golden-file tests,
+and gives examples a portable artifact format.  The format round-trips
+everything the metamodel carries: hierarchy, pseudostates, triggers,
+guards (as expression trees), behaviors, context attributes/operations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .actions import (Assign, Behavior, BinOp, BoolLit, CallExpr, CallStmt,
+                      EmitStmt, Expr, IntLit, Stmt, UnaryOp, VarRef)
+from .elements import ModelError
+from .events import (AnyEvent, CallEvent, Event, SignalEvent, TimeEvent)
+from .statemachine import (ContextClass, FinalState, Pseudostate,
+                           PseudostateKind, Region, State, StateMachine,
+                           Vertex)
+from .transitions import Transition, TransitionKind
+
+__all__ = ["machine_to_dict", "machine_from_dict", "dumps_machine",
+           "loads_machine", "save_machine", "load_machine"]
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# expressions / statements
+# ---------------------------------------------------------------------------
+
+def expr_to_dict(expr: Expr) -> Dict[str, Any]:
+    if isinstance(expr, IntLit):
+        return {"k": "int", "v": expr.value}
+    if isinstance(expr, BoolLit):
+        return {"k": "bool", "v": expr.value}
+    if isinstance(expr, VarRef):
+        return {"k": "var", "name": expr.name}
+    if isinstance(expr, UnaryOp):
+        return {"k": "un", "op": expr.op, "e": expr_to_dict(expr.operand)}
+    if isinstance(expr, BinOp):
+        return {"k": "bin", "op": expr.op,
+                "l": expr_to_dict(expr.lhs), "r": expr_to_dict(expr.rhs)}
+    if isinstance(expr, CallExpr):
+        return {"k": "call", "f": expr.func,
+                "args": [expr_to_dict(a) for a in expr.args]}
+    raise ModelError(f"unserializable expression {expr!r}")
+
+
+def expr_from_dict(data: Dict[str, Any]) -> Expr:
+    kind = data["k"]
+    if kind == "int":
+        return IntLit(data["v"])
+    if kind == "bool":
+        return BoolLit(data["v"])
+    if kind == "var":
+        return VarRef(data["name"])
+    if kind == "un":
+        return UnaryOp(data["op"], expr_from_dict(data["e"]))
+    if kind == "bin":
+        return BinOp(data["op"], expr_from_dict(data["l"]),
+                     expr_from_dict(data["r"]))
+    if kind == "call":
+        return CallExpr(data["f"], tuple(expr_from_dict(a) for a in data["args"]))
+    raise ModelError(f"unknown expression kind {kind!r}")
+
+
+def _stmt_to_dict(stmt: Stmt) -> Dict[str, Any]:
+    if isinstance(stmt, Assign):
+        return {"k": "assign", "t": stmt.target, "v": expr_to_dict(stmt.value)}
+    if isinstance(stmt, CallStmt):
+        return {"k": "call", "c": expr_to_dict(stmt.call)}
+    if isinstance(stmt, EmitStmt):
+        return {"k": "emit", "ev": stmt.event_name}
+    raise ModelError(f"unserializable statement {stmt!r}")
+
+
+def _stmt_from_dict(data: Dict[str, Any]) -> Stmt:
+    kind = data["k"]
+    if kind == "assign":
+        return Assign(data["t"], expr_from_dict(data["v"]))
+    if kind == "call":
+        call = expr_from_dict(data["c"])
+        if not isinstance(call, CallExpr):
+            raise ModelError("call statement must wrap a call expression")
+        return CallStmt(call)
+    if kind == "emit":
+        return EmitStmt(data["ev"])
+    raise ModelError(f"unknown statement kind {kind!r}")
+
+
+def _behavior_to_dict(behavior: Behavior) -> Optional[Dict[str, Any]]:
+    if not behavior:
+        return None
+    return {"name": behavior.name,
+            "stmts": [_stmt_to_dict(s) for s in behavior.statements]}
+
+
+def _behavior_from_dict(data: Optional[Dict[str, Any]]) -> Behavior:
+    if data is None:
+        return Behavior()
+    return Behavior(name=data.get("name", ""),
+                    statements=tuple(_stmt_from_dict(s) for s in data["stmts"]))
+
+
+# ---------------------------------------------------------------------------
+# events
+# ---------------------------------------------------------------------------
+
+_EVENT_KINDS = {"signal": SignalEvent, "call": CallEvent}
+
+
+def _event_to_dict(event: Event) -> Dict[str, Any]:
+    if isinstance(event, TimeEvent):
+        return {"kind": "time", "name": event.name,
+                "duration_ms": event.duration_ms}
+    if isinstance(event, AnyEvent):
+        return {"kind": "any", "name": event.name}
+    if isinstance(event, CallEvent):
+        return {"kind": "call", "name": event.name}
+    if isinstance(event, SignalEvent):
+        return {"kind": "signal", "name": event.name}
+    raise ModelError(f"unserializable event {event!r}")
+
+
+def _event_from_dict(data: Dict[str, Any]) -> Event:
+    kind = data["kind"]
+    if kind == "time":
+        return TimeEvent(name=data["name"], duration_ms=data["duration_ms"])
+    if kind == "any":
+        return AnyEvent()
+    if kind in _EVENT_KINDS:
+        return _EVENT_KINDS[kind](data["name"])
+    raise ModelError(f"unknown event kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# vertices / regions / machine
+# ---------------------------------------------------------------------------
+
+def _vertex_to_dict(vertex: Vertex) -> Dict[str, Any]:
+    if isinstance(vertex, State):
+        return {
+            "kind": "state",
+            "name": vertex.name,
+            "entry": _behavior_to_dict(vertex.entry),
+            "exit": _behavior_to_dict(vertex.exit),
+            "do": _behavior_to_dict(vertex.do_activity),
+            "regions": [_region_to_dict(r) for r in vertex.regions],
+        }
+    if isinstance(vertex, FinalState):
+        return {"kind": "final", "name": vertex.name}
+    if isinstance(vertex, Pseudostate):
+        return {"kind": "pseudo", "name": vertex.name,
+                "pkind": vertex.kind.value}
+    raise ModelError(f"unserializable vertex {vertex!r}")
+
+
+def _vertex_from_dict(data: Dict[str, Any]) -> Vertex:
+    kind = data["kind"]
+    if kind == "state":
+        state = State(data["name"],
+                      entry=_behavior_from_dict(data.get("entry")),
+                      exit=_behavior_from_dict(data.get("exit")),
+                      do_activity=_behavior_from_dict(data.get("do")))
+        for region_data in data.get("regions", []):
+            state.add_region(_region_from_dict(region_data))
+        return state
+    if kind == "final":
+        return FinalState(data["name"])
+    if kind == "pseudo":
+        return Pseudostate(PseudostateKind(data["pkind"]), data["name"])
+    raise ModelError(f"unknown vertex kind {kind!r}")
+
+
+def _vertex_path(vertex: Vertex, machine: StateMachine) -> str:
+    """Stable path of a vertex: region indices + vertex index."""
+    indices: List[str] = []
+    node: Any = vertex
+    while node is not machine:
+        owner = node.owner
+        if isinstance(node, Vertex):
+            indices.append(str(owner.vertices.index(node)))
+        elif isinstance(node, Region):
+            if isinstance(owner, State):
+                indices.append("r" + str(owner.regions.index(node)))
+            else:
+                indices.append("R" + str(owner.regions.index(node)))
+        node = owner
+    return "/".join(reversed(indices))
+
+
+def _resolve_path(path: str, machine: StateMachine) -> Vertex:
+    node: Any = machine
+    for part in path.split("/"):
+        if part.startswith("R"):
+            node = node.regions[int(part[1:])]
+        elif part.startswith("r"):
+            node = node.regions[int(part[1:])]
+        else:
+            node = node.vertices[int(part)]
+    if not isinstance(node, Vertex):
+        raise ModelError(f"path {path!r} does not resolve to a vertex")
+    return node
+
+
+def _region_to_dict(region: Region) -> Dict[str, Any]:
+    return {
+        "name": region.name,
+        "vertices": [_vertex_to_dict(v) for v in region.vertices],
+    }
+
+
+def _region_from_dict(data: Dict[str, Any]) -> Region:
+    region = Region(data["name"])
+    for vdata in data["vertices"]:
+        region.add_vertex(_vertex_from_dict(vdata))
+    return region
+
+
+def machine_to_dict(machine: StateMachine) -> Dict[str, Any]:
+    """Serialize *machine* to a JSON-compatible dict."""
+    transitions = []
+    for region in machine.all_regions():
+        for tr in region.transitions:
+            transitions.append({
+                "region": _region_path(region, machine),
+                "name": tr.name,
+                "source": _vertex_path(tr.source, machine),
+                "target": _vertex_path(tr.target, machine),
+                "triggers": [_event_to_dict(t) for t in tr.triggers],
+                "guard": expr_to_dict(tr.guard) if tr.guard is not None else None,
+                "effect": _behavior_to_dict(tr.effect),
+                "kind": tr.kind.value,
+            })
+    return {
+        "format": FORMAT_VERSION,
+        "name": machine.name,
+        "context": {
+            "name": machine.context.name,
+            "attributes": dict(machine.context.attributes),
+            "operations": list(machine.context.operations),
+        },
+        "events": [_event_to_dict(e) for e in machine.events.values()],
+        "regions": [_region_to_dict(r) for r in machine.regions],
+        "transitions": transitions,
+    }
+
+
+def _region_path(region: Region, machine: StateMachine) -> str:
+    indices: List[str] = []
+    node: Any = region
+    while node is not machine:
+        owner = node.owner
+        if isinstance(node, Region):
+            if isinstance(owner, State):
+                indices.append("r" + str(owner.regions.index(node)))
+            else:
+                indices.append("R" + str(owner.regions.index(node)))
+        else:
+            indices.append(str(owner.vertices.index(node)))
+        node = owner
+    return "/".join(reversed(indices))
+
+
+def _resolve_region(path: str, machine: StateMachine) -> Region:
+    node: Any = machine
+    for part in path.split("/"):
+        if part.startswith(("R", "r")):
+            node = node.regions[int(part[1:])]
+        else:
+            node = node.vertices[int(part)]
+    if not isinstance(node, Region):
+        raise ModelError(f"path {path!r} does not resolve to a region")
+    return node
+
+
+def machine_from_dict(data: Dict[str, Any]) -> StateMachine:
+    """Deserialize a machine produced by :func:`machine_to_dict`."""
+    if data.get("format") != FORMAT_VERSION:
+        raise ModelError(f"unsupported format version {data.get('format')!r}")
+    context = ContextClass(data["context"]["name"])
+    for attr, init in data["context"]["attributes"].items():
+        context.attribute(attr, init)
+    for op in data["context"]["operations"]:
+        context.operation(op)
+    machine = StateMachine(data["name"], context=context)
+    for event_data in data["events"]:
+        machine.declare_event(_event_from_dict(event_data))
+    for region_data in data["regions"]:
+        machine.add_region(_region_from_dict(region_data))
+    for tdata in data["transitions"]:
+        region = _resolve_region(tdata["region"], machine)
+        triggers = []
+        for trig_data in tdata["triggers"]:
+            event = _event_from_dict(trig_data)
+            triggers.append(machine.declare_event(event))
+        tr = Transition(
+            _resolve_path(tdata["source"], machine),
+            _resolve_path(tdata["target"], machine),
+            triggers=triggers,
+            guard=(expr_from_dict(tdata["guard"])
+                   if tdata["guard"] is not None else None),
+            effect=_behavior_from_dict(tdata.get("effect")),
+            kind=TransitionKind(tdata["kind"]),
+            name=tdata.get("name", ""),
+        )
+        region.add_transition(tr)
+    return machine
+
+
+def dumps_machine(machine: StateMachine, indent: int = 2) -> str:
+    """Serialize *machine* to a JSON string."""
+    return json.dumps(machine_to_dict(machine), indent=indent, sort_keys=True)
+
+
+def loads_machine(text: str) -> StateMachine:
+    """Deserialize a machine from a JSON string."""
+    return machine_from_dict(json.loads(text))
+
+
+def save_machine(machine: StateMachine, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps_machine(machine))
+
+
+def load_machine(path: str) -> StateMachine:
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads_machine(fh.read())

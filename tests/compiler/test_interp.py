@@ -1,0 +1,130 @@
+"""Tests for the GIMPLE interpreter (the RT32 'board')."""
+
+import pytest
+
+from repro.compiler.gimple.interp import GimpleInterpreter, InterpError
+from repro.compiler.gimple.ir import (BinOp, Call, CallIndirect, Const,
+                                      DataObject, GimpleFunction, Jump,
+                                      LoadAddr, LoadGlobal, Program, Reg,
+                                      Ret, StoreGlobal, SymbolRef)
+
+
+def make_program():
+    program = Program("p")
+    program.add_data(DataObject("counter", [5], "data"))
+    program.add_data(DataObject("table", [SymbolRef("get"), 7], "rodata"))
+
+    get = GimpleFunction("get", [])
+    block = get.new_block()
+    block.add(LoadGlobal(Reg("v"), "counter"))
+    block.terminator = Ret(Reg("v"))
+    program.add_function(get)
+
+    bump = GimpleFunction("bump", [Reg("by")])
+    block = bump.new_block()
+    block.add(LoadGlobal(Reg("v"), "counter"))
+    block.add(BinOp(Reg("n"), "+", Reg("v"), Reg("by")))
+    block.add(StoreGlobal("counter", 0, Reg("n")))
+    block.terminator = Ret(Reg("n"))
+    program.add_function(bump)
+    return program
+
+
+class TestMemoryAndCalls:
+    def test_global_initializer_visible(self):
+        interp = GimpleInterpreter(make_program())
+        assert interp.call("get") == 5
+
+    def test_store_global_persists(self):
+        interp = GimpleInterpreter(make_program())
+        assert interp.call("bump", (3,)) == 8
+        assert interp.call("get") == 8
+        assert interp.read_global("counter") == 8
+
+    def test_symbol_ref_resolves_to_function_address(self):
+        program = make_program()
+        interp = GimpleInterpreter(program)
+        table_addr = interp.address_of("table")
+        fn_addr = interp.load_word(table_addr)
+        assert interp.addr_func[fn_addr] == "get"
+
+    def test_indirect_call_through_table(self):
+        program = make_program()
+        caller = GimpleFunction("caller", [])
+        block = caller.new_block()
+        block.add(LoadGlobal(Reg("fp"), "table", 0))
+        block.add(CallIndirect(Reg("r"), Reg("fp"), ()))
+        block.terminator = Ret(Reg("r"))
+        program.add_function(caller)
+        assert GimpleInterpreter(program).call("caller") == 5
+
+    def test_indirect_call_to_data_raises(self):
+        program = make_program()
+        bad = GimpleFunction("bad", [])
+        block = bad.new_block()
+        block.add(LoadAddr(Reg("a"), "counter"))
+        block.add(CallIndirect(None, Reg("a"), ()))
+        block.terminator = Ret()
+        program.add_function(bad)
+        with pytest.raises(InterpError):
+            GimpleInterpreter(program).call("bad")
+
+    def test_external_calls_logged_and_mapped(self):
+        program = make_program()
+        seen = []
+        caller = GimpleFunction("caller", [])
+        block = caller.new_block()
+        block.add(Call(Reg("r"), "sensor", (9,)))
+        block.terminator = Ret(Reg("r"))
+        program.add_function(caller)
+        interp = GimpleInterpreter(program,
+                                   {"sensor": lambda v: seen.append(v) or 42})
+        assert interp.call("caller") == 42
+        assert seen == [9]
+        assert interp.call_log == [("sensor", (9,))]
+
+    def test_unmapped_external_returns_zero(self):
+        program = make_program()
+        caller = GimpleFunction("caller", [])
+        block = caller.new_block()
+        block.add(Call(Reg("r"), "mystery", ()))
+        block.terminator = Ret(Reg("r"))
+        program.add_function(caller)
+        interp = GimpleInterpreter(program)
+        assert interp.call("caller") == 0
+        assert interp.call_log == [("mystery", ())]
+
+    def test_arity_mismatch_raises(self):
+        interp = GimpleInterpreter(make_program())
+        with pytest.raises(InterpError):
+            interp.call("bump", ())
+
+    def test_division_by_zero_raises(self):
+        program = Program("p")
+        fn = GimpleFunction("f", [Reg("x")])
+        block = fn.new_block()
+        block.add(BinOp(Reg("r"), "/", 1, Reg("x")))
+        block.terminator = Ret(Reg("r"))
+        program.add_function(fn)
+        with pytest.raises(InterpError):
+            GimpleInterpreter(program).call("f", (0,))
+
+    def test_step_budget_catches_infinite_loop(self):
+        program = Program("p")
+        fn = GimpleFunction("spin", [])
+        block = fn.new_block("b")
+        block.terminator = Jump(block.label)
+        program.add_function(fn)
+        interp = GimpleInterpreter(program, max_steps=100)
+        with pytest.raises(InterpError):
+            interp.call("spin")
+
+    def test_arithmetic_wraps_to_32_bits(self):
+        program = Program("p")
+        fn = GimpleFunction("f", [])
+        block = fn.new_block()
+        block.add(Const(Reg("big"), 0x7FFFFFFF))
+        block.add(BinOp(Reg("r"), "+", Reg("big"), 1))
+        block.terminator = Ret(Reg("r"))
+        program.add_function(fn)
+        assert GimpleInterpreter(program).call("f") == -(1 << 31)

@@ -1,0 +1,159 @@
+"""Tests for the C++ AST helpers and the pretty printer."""
+
+import pytest
+
+from repro.cpp import ast as C
+from repro.cpp import print_expr, print_stmt, print_unit
+from repro.cpp.types import (ArrayType, BOOL, ClassRefType, EnumType,
+                             FuncPtrType, INT, PointerType, VOID, size_of)
+
+
+class TestTypes:
+    def test_scalar_sizes(self):
+        assert size_of(INT) == 4
+        assert size_of(BOOL) == 4
+        assert size_of(EnumType("E")) == 4
+
+    def test_pointer_and_funcptr_sizes(self):
+        assert size_of(PointerType(INT)) == 4
+        assert size_of(FuncPtrType(VOID, (INT,))) == 4
+
+    def test_array_size(self):
+        assert size_of(ArrayType(INT, 10)) == 40
+
+    def test_class_size_needs_registry(self):
+        with pytest.raises(ValueError):
+            size_of(ClassRefType("Row"))
+        assert size_of(ClassRefType("Row"), {"Row": 24}) == 24
+
+    def test_void_has_no_size(self):
+        with pytest.raises(ValueError):
+            size_of(VOID)
+
+    def test_type_rendering(self):
+        assert str(PointerType(ClassRefType("M"))) == "M*"
+        assert str(ArrayType(INT, 3)) == "int[3]"
+
+
+class TestExprPrinting:
+    @pytest.mark.parametrize("expr,text", [
+        (C.IntLit(42), "42"),
+        (C.BoolLit(True), "true"),
+        (C.NullPtr(), "0"),
+        (C.Var("x"), "x"),
+        (C.ThisExpr(), "this"),
+        (C.EnumRef("Event", "EV_go"), "EV_go"),
+        (C.FieldAccess(C.ThisExpr(), "state"), "this->state"),
+        (C.Unary("!", C.Var("x")), "!x"),
+        (C.Binary("+", C.Var("a"), C.IntLit(1)), "a + 1"),
+        (C.Call("f", (C.IntLit(1), C.Var("x"))), "f(1, x)"),
+        (C.Index(C.Var("t"), C.Var("i")), "t[i]"),
+        (C.AddrOf(C.Var("g")), "&g"),
+        (C.FuncRef("handler"), "&handler"),
+        (C.Cast(INT, C.Var("p")), "(int)p"),
+    ])
+    def test_atoms(self, expr, text):
+        assert print_expr(expr) == text
+
+    def test_nested_binary_parenthesized(self):
+        expr = C.Binary("*", C.Binary("+", C.Var("a"), C.Var("b")),
+                        C.IntLit(2))
+        assert print_expr(expr) == "(a + b) * 2"
+
+    def test_method_call(self):
+        expr = C.MethodCall(C.FieldAccess(C.ThisExpr(), "sub"), "Sub",
+                            "step", (C.Var("ev"),))
+        assert print_expr(expr) == "this->sub->step(ev)"
+
+    def test_indirect_call(self):
+        expr = C.IndirectCall(C.FieldAccess(C.Var("row"), "fn"),
+                              (C.Var("m"),))
+        assert print_expr(expr) == "(row->fn)(m)"
+
+
+class TestStmtPrinting:
+    def test_if_else(self):
+        stmt = C.If(C.Var("c"), C.Block([C.Return(C.IntLit(1))]),
+                    C.Block([C.Return(C.IntLit(0))]))
+        lines = print_stmt(stmt)
+        assert lines[0] == "if (c)"
+        assert "else" in lines
+
+    def test_while(self):
+        stmt = C.While(C.Binary("<", C.Var("i"), C.IntLit(10)))
+        stmt.body.add(C.Assign(C.Var("i"), C.Binary("+", C.Var("i"),
+                                                    C.IntLit(1))))
+        text = "\n".join(print_stmt(stmt))
+        assert "while (i < 10)" in text
+        assert "i = i + 1;" in text
+
+    def test_switch_with_break_and_default(self):
+        sw = C.Switch(C.Var("x"))
+        case = C.SwitchCase([C.IntLit(1)])
+        case.body.add(C.ExprStmt(C.Call("f", ())))
+        sw.cases.append(case)
+        sw.default = C.Block([C.ExprStmt(C.Call("g", ()))])
+        text = "\n".join(print_stmt(sw))
+        assert "case 1:" in text and "default:" in text
+        assert text.count("break;") == 2
+
+    def test_var_decl_forms(self):
+        assert print_stmt(C.VarDecl("x", INT))[0] == "int x;"
+        assert print_stmt(C.VarDecl("x", INT, C.IntLit(3)))[0] == \
+            "int x = 3;"
+
+    def test_array_declarator(self):
+        stmt = C.VarDecl("buf", ArrayType(INT, 4))
+        assert print_stmt(stmt)[0] == "int buf[4];"
+
+
+class TestUnitPrinting:
+    def make_unit(self):
+        unit = C.TranslationUnit("u")
+        unit.enums.append(C.EnumDecl("Event", ["EV_a", "EV_b"]))
+        unit.externs.append(C.ExternFunction("probe",
+                                             [C.Param("v", INT)]))
+        cls = C.ClassDecl("M")
+        cls.fields.append(C.Field("state", INT))
+        cls.methods.append(C.Method("step", [C.Param("ev", INT)], VOID,
+                                    C.Block([C.Return()]),
+                                    is_virtual=True))
+        unit.classes.append(cls)
+        unit.globals.append(C.GlobalVar(
+            "table", ArrayType(INT, 2),
+            C.ArrayInit([C.IntLit(1), C.IntLit(2)]), is_const=True))
+        body = C.Block([C.Return(C.IntLit(0))])
+        unit.functions.append(C.Function("main_fn", [], INT, body))
+        return unit
+
+    def test_sections_present(self):
+        text = print_unit(self.make_unit())
+        assert "enum Event {" in text
+        assert 'extern "C" int probe(int v);' in text
+        assert "class M {" in text
+        assert "virtual void step(int ev)" in text
+        assert "const int table[2] = {" in text
+        assert "int main_fn()" in text
+
+    def test_enumerators_numbered(self):
+        text = print_unit(self.make_unit())
+        assert "EV_a = 0," in text and "EV_b = 1" in text
+
+    def test_accessors(self):
+        unit = self.make_unit()
+        assert unit.enum("Event").value_of("EV_b") == 1
+        assert unit.cls("M").method("step").is_virtual
+        assert unit.function("main_fn").ret == INT
+        with pytest.raises(KeyError):
+            unit.cls("Nope")
+        with pytest.raises(KeyError):
+            unit.enum("Nope")
+        with pytest.raises(KeyError):
+            unit.function("Nope")
+
+    def test_pure_virtual_rendering(self):
+        cls = C.ClassDecl("B")
+        cls.methods.append(C.Method("h", [], VOID, None, is_virtual=True))
+        unit = C.TranslationUnit("u")
+        unit.classes.append(cls)
+        assert "= 0;" in print_unit(unit)

@@ -1,0 +1,35 @@
+"""Smoke-run every example script (they are part of the public surface)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parents[2].joinpath("examples")
+    .glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "cruise_control", "protocol_handler",
+            "paper_walkthrough"} <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    proc = subprocess.run([sys.executable, str(script)],
+                          capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_shows_the_paper_story():
+    script = next(p for p in EXAMPLES if p.stem == "quickstart")
+    proc = subprocess.run([sys.executable, str(script)],
+                          capture_output=True, text=True, timeout=600)
+    out = proc.stdout
+    assert "dead state Maintenance" in out
+    assert "post-DCE dump still contains" in out
+    assert "observationally equivalent" in out

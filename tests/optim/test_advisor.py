@@ -1,0 +1,104 @@
+"""Tests for automatic optimization selection (the paper's §VI plan)."""
+
+import pytest
+
+from repro.experiments.models import (
+    flat_machine_with_unreachable_state,
+    hierarchical_machine_with_shadowed_composite)
+from repro.optim import (auto_optimize, check_equivalence, optimize,
+                         suggest_optimizations)
+from repro.semantics import SemanticsConfig
+from repro.uml import StateMachineBuilder, calls
+
+
+def names(suggestions):
+    return [s.pass_name for s in suggestions]
+
+
+class TestSuggestions:
+    def test_clean_machine_gets_no_suggestions(self):
+        b = StateMachineBuilder("Clean")
+        b.state("A")
+        b.initial_to("A")
+        b.transition("A", "final", on="x")
+        assert suggest_optimizations(b.build()) == []
+
+    def test_flat_model_suggests_unreachable_removal(self):
+        suggestions = suggest_optimizations(
+            flat_machine_with_unreachable_state())
+        assert "remove-unreachable-states" in names(suggestions)
+        reason = next(s.reason for s in suggestions
+                      if s.pass_name == "remove-unreachable-states")
+        assert "S2" in reason
+
+    def test_hierarchical_model_suggests_shadow_removal(self):
+        suggestions = suggest_optimizations(
+            hierarchical_machine_with_shadowed_composite())
+        assert names(suggestions)[:2] == ["remove-shadowed-transitions",
+                                          "remove-unreachable-states"]
+
+    def test_non_uml_semantics_drops_shadow_suggestion(self):
+        suggestions = suggest_optimizations(
+            hierarchical_machine_with_shadowed_composite(),
+            semantics=SemanticsConfig(completion_priority=False))
+        assert "remove-shadowed-transitions" not in names(suggestions)
+
+    def test_foldable_guard_suggested(self):
+        b = StateMachineBuilder("G")
+        b.state("A")
+        b.initial_to("A")
+        b.transition("A", "final", on="x", guard="1 < 2")
+        suggestions = suggest_optimizations(b.build())
+        assert "simplify-guards" in names(suggestions)
+
+    def test_trivial_composite_suggested(self):
+        b = StateMachineBuilder("T")
+        sub = b.composite("C")
+        sub.state("Inner")
+        sub.initial_to("Inner")
+        b.initial_to("C")
+        b.transition("Inner", "final", on="x")
+        # cross-region transition is fine for the advisor/model level
+        suggestions = suggest_optimizations(b.build())
+        assert "flatten-trivial-composites" in names(suggestions)
+
+    def test_orphan_event_suggested(self):
+        b = StateMachineBuilder("O")
+        b.state("A")
+        b.initial_to("A")
+        b.transition("A", "final", on="x")
+        b.event("never_used")
+        suggestions = suggest_optimizations(b.build())
+        assert "remove-unused-events" in names(suggestions)
+
+    def test_suggestions_render(self):
+        suggestions = suggest_optimizations(
+            flat_machine_with_unreachable_state())
+        assert all(":" in str(s) for s in suggestions)
+
+
+class TestAutoOptimize:
+    @pytest.mark.parametrize("factory", [
+        flat_machine_with_unreachable_state,
+        hierarchical_machine_with_shadowed_composite])
+    def test_matches_full_pipeline_result(self, factory):
+        machine = factory()
+        auto = auto_optimize(machine)
+        full = optimize(machine)
+        assert {s.name for s in auto.optimized.all_states()} == \
+            {s.name for s in full.optimized.all_states()}
+
+    def test_auto_is_behavior_preserving(self):
+        machine = hierarchical_machine_with_shadowed_composite()
+        report = auto_optimize(machine)
+        eq = check_equivalence(machine, report.optimized, n_random=5)
+        assert eq.equivalent
+
+    def test_noop_on_clean_machine(self):
+        b = StateMachineBuilder("Clean")
+        b.state("A")
+        b.initial_to("A")
+        b.transition("A", "final", on="x")
+        machine = b.build()
+        report = auto_optimize(machine)
+        assert not report.changed

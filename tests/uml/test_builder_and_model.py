@@ -1,0 +1,136 @@
+"""Tests for the metamodel and the fluent builder."""
+
+import pytest
+
+from repro.uml import (ModelError, PseudostateKind, StateMachineBuilder,
+                       TransitionKind, calls, clone_machine, parse_expr)
+
+
+def simple_machine():
+    b = StateMachineBuilder("M")
+    b.state("A")
+    b.state("B")
+    b.initial_to("A")
+    b.transition("A", "B", on="go")
+    b.transition("B", "final", on="stop")
+    return b.build()
+
+
+class TestBuilder:
+    def test_builds_states_and_transitions(self):
+        m = simple_machine()
+        assert {s.name for s in m.all_states()} == {"A", "B"}
+        assert len(list(m.all_transitions())) == 3
+
+    def test_initial_pseudostate_created(self):
+        m = simple_machine()
+        assert m.top.initial is not None
+        assert m.top.initial.kind is PseudostateKind.INITIAL
+
+    def test_final_state_created_on_demand(self):
+        m = simple_machine()
+        assert len(m.top.final_states()) == 1
+
+    def test_events_declared_once(self):
+        b = StateMachineBuilder("M")
+        b.state("A")
+        b.state("B")
+        b.initial_to("A")
+        b.transition("A", "B", on="go")
+        b.transition("B", "A", on="go")
+        m = b.build()
+        assert len(m.events) == 1
+
+    def test_unknown_vertex_name_raises(self):
+        b = StateMachineBuilder("M")
+        b.state("A")
+        with pytest.raises(ModelError):
+            b.transition("A", "Missing", on="go")
+
+    def test_composite_builder(self):
+        b = StateMachineBuilder("H")
+        inner = b.composite("C")
+        inner.state("C1")
+        inner.initial_to("C1")
+        inner.transition("C1", "final", on="done_inner")
+        b.initial_to("C")
+        b.transition("C", "final", on="out")
+        m = b.build()
+        c = m.find_state("C")
+        assert c.is_composite
+        assert {s.name for s in c.descendant_states()} == {"C1"}
+
+    def test_internal_transition(self):
+        b = StateMachineBuilder("M")
+        b.state("A")
+        b.initial_to("A")
+        tr = b.internal("A", on="tick", effect=calls("beep"))
+        b.transition("A", "final", on="stop")
+        m = b.build()
+        assert tr.kind is TransitionKind.INTERNAL
+        assert tr.source is tr.target
+
+    def test_completion_transition_detected(self):
+        b = StateMachineBuilder("M")
+        b.state("A")
+        b.initial_to("A")
+        tr = b.completion("A", "final")
+        m = b.build()
+        assert tr.is_completion
+        assert m.find_state("A").completion_transitions() == [tr]
+
+    def test_guard_parsing_via_string(self):
+        b = StateMachineBuilder("M")
+        b.attribute("n", 0)
+        b.state("A")
+        b.initial_to("A")
+        tr = b.transition("A", "final", on="go", guard="n > 3 && n < 10")
+        b.build()
+        assert tr.guard == parse_expr("n > 3 && n < 10")
+
+
+class TestModelQueries:
+    def test_incoming_outgoing(self):
+        m = simple_machine()
+        a = m.find_state("A")
+        b = m.find_state("B")
+        assert [t.target for t in a.outgoing()] == [b]
+        assert [t.source for t in b.incoming()] == [a]
+
+    def test_find_state_raises_for_missing(self):
+        m = simple_machine()
+        with pytest.raises(ModelError):
+            m.find_state("Zed")
+
+    def test_qualified_names(self):
+        m = simple_machine()
+        a = m.find_state("A")
+        assert a.qualified_name == "M::top::A"
+
+    def test_remove_vertex_requires_no_incident_transitions(self):
+        m = simple_machine()
+        a = m.find_state("A")
+        with pytest.raises(ModelError):
+            m.top.remove_vertex(a)
+
+    def test_remove_transition_then_vertex(self):
+        m = simple_machine()
+        b_state = m.find_state("B")
+        for tr in list(b_state.incoming()) + list(b_state.outgoing()):
+            tr.owner.remove_transition(tr)
+        m.top.remove_vertex(b_state)
+        assert "B" not in {s.name for s in m.all_states()}
+
+
+class TestClone:
+    def test_clone_is_deep_and_equal(self):
+        m = simple_machine()
+        c = clone_machine(m)
+        assert c is not m
+        assert {s.name for s in c.all_states()} == {"A", "B"}
+        # mutating the clone leaves the original intact
+        b_state = c.find_state("B")
+        for tr in list(b_state.incoming()) + list(b_state.outgoing()):
+            tr.owner.remove_transition(tr)
+        c.top.remove_vertex(b_state)
+        assert "B" in {s.name for s in m.all_states()}

@@ -1,0 +1,187 @@
+"""Tests for well-formedness validation and JSON serialization."""
+
+import pytest
+
+from repro.uml import (Assign, Behavior, CallExpr, CallStmt, EmitStmt,
+                       FinalState, IntLit, ModelError, Pseudostate,
+                       PseudostateKind, Region, State, StateMachine,
+                       StateMachineBuilder, Transition, ValidationError,
+                       calls, check_machine, clone_machine, dumps_machine,
+                       loads_machine, machine_from_dict, machine_to_dict,
+                       parse_expr, validate_machine)
+from repro.uml.serialize import expr_from_dict, expr_to_dict
+
+
+def valid_machine():
+    b = StateMachineBuilder("V")
+    b.attribute("n", 1)
+    b.state("A", entry=calls("a_in"))
+    sub = b.composite("C")
+    sub.state("C1")
+    sub.initial_to("C1")
+    sub.transition("C1", "final", on="fin")
+    b.initial_to("A")
+    b.transition("A", "C", on="go", guard="n > 0",
+                 effect=[Assign("n", parse_expr("n + 1"))])
+    b.completion("C", "A")
+    b.transition("A", "final", on="stop")
+    return b.build()
+
+
+class TestValidation:
+    def test_valid_machine_passes(self):
+        assert not check_machine(valid_machine())
+
+    def test_machine_without_region(self):
+        machine = StateMachine("Empty")
+        issues = check_machine(machine)
+        assert any(i.code == "SM001" for i in issues)
+
+    def test_two_initials_rejected(self):
+        machine = StateMachine("TwoInit")
+        region = machine.top
+        region.add_vertex(Pseudostate(PseudostateKind.INITIAL, "i1"))
+        region.add_vertex(Pseudostate(PseudostateKind.INITIAL, "i2"))
+        issues = check_machine(machine)
+        assert any(i.code == "RG001" for i in issues)
+
+    def test_duplicate_sibling_names_rejected(self):
+        machine = StateMachine("Dup")
+        machine.top.add_vertex(State("X"))
+        machine.top.add_vertex(State("X"))
+        issues = check_machine(machine)
+        assert any(i.code == "RG002" for i in issues)
+
+    def test_initial_with_trigger_rejected(self):
+        machine = StateMachine("IT")
+        init = machine.top.add_vertex(
+            Pseudostate(PseudostateKind.INITIAL))
+        target = machine.top.add_vertex(State("A"))
+        from repro.uml import SignalEvent
+        ev = machine.declare_event(SignalEvent("x"))
+        machine.top.add_transition(Transition(init, target, triggers=[ev]))
+        issues = check_machine(machine)
+        assert any(i.code == "PS002" for i in issues)
+
+    def test_initial_with_guard_rejected(self):
+        machine = StateMachine("IG")
+        init = machine.top.add_vertex(Pseudostate(PseudostateKind.INITIAL))
+        target = machine.top.add_vertex(State("A"))
+        machine.top.add_transition(
+            Transition(init, target, guard=parse_expr("1 < 2")))
+        issues = check_machine(machine)
+        assert any(i.code == "PS003" for i in issues)
+
+    def test_final_with_outgoing_rejected(self):
+        machine = StateMachine("FO")
+        init = machine.top.add_vertex(Pseudostate(PseudostateKind.INITIAL))
+        fin = machine.top.add_vertex(FinalState("final"))
+        state = machine.top.add_vertex(State("A"))
+        machine.top.add_transition(Transition(init, state))
+        machine.top.add_transition(Transition(fin, state))
+        issues = check_machine(machine)
+        assert any(i.code == "FS001" for i in issues)
+
+    def test_guard_over_undeclared_attribute_rejected(self):
+        b = StateMachineBuilder("UG")
+        b.state("A")
+        b.initial_to("A")
+        b.transition("A", "final", on="x", guard=parse_expr("ghost > 0"))
+        machine = b.machine  # skip build() validation
+        issues = check_machine(machine)
+        assert any(i.code == "GD001" for i in issues)
+
+    def test_validation_error_message_lists_issues(self):
+        machine = StateMachine("Bad")
+        with pytest.raises(ValidationError) as err:
+            validate_machine(machine)
+        assert "SM001" in str(err.value)
+
+    def test_called_operations_auto_declared(self):
+        machine = valid_machine()
+        assert "a_in" in machine.context.operations
+
+    def test_stuck_choice_detected(self):
+        machine = StateMachine("SC")
+        machine.top.add_vertex(Pseudostate(PseudostateKind.CHOICE, "ch"))
+        issues = check_machine(machine)
+        assert any(i.code == "PS005" for i in issues)
+
+
+class TestSerialization:
+    def test_round_trip_structure(self):
+        machine = valid_machine()
+        clone = loads_machine(dumps_machine(machine))
+        assert {s.name for s in clone.all_states()} == \
+            {s.name for s in machine.all_states()}
+        assert len(list(clone.all_transitions())) == \
+            len(list(machine.all_transitions()))
+        assert clone.context.attributes == machine.context.attributes
+
+    def test_round_trip_is_stable(self):
+        machine = valid_machine()
+        once = dumps_machine(machine)
+        twice = dumps_machine(loads_machine(once))
+        assert once == twice
+
+    def test_guards_and_effects_survive(self):
+        machine = valid_machine()
+        clone = loads_machine(dumps_machine(machine))
+        tr = next(t for t in clone.all_transitions()
+                  if t.describe().startswith("A -go"))
+        assert tr.guard == parse_expr("n > 0")
+        assert isinstance(tr.effect.statements[0], Assign)
+
+    def test_hierarchy_survives(self):
+        machine = valid_machine()
+        clone = loads_machine(dumps_machine(machine))
+        c = clone.find_state("C")
+        assert c.is_composite
+        assert {s.name for s in c.descendant_states()} == {"C1"}
+
+    def test_events_survive_with_kinds(self):
+        from repro.uml import TimeEvent
+        b = StateMachineBuilder("Ev")
+        b.state("A")
+        b.initial_to("A")
+        b.transition("A", "A", on=b.time_event(250))
+        b.transition("A", "final", on="stop")
+        clone = loads_machine(dumps_machine(b.build()))
+        kinds = {type(e).__name__ for e in clone.events.values()}
+        assert "TimeEvent" in kinds
+
+    def test_emit_statement_survives(self):
+        b = StateMachineBuilder("Em")
+        b.state("A", entry=Behavior(statements=(EmitStmt("ping"),)))
+        b.initial_to("A")
+        b.transition("A", "final", on="ping")
+        clone = loads_machine(dumps_machine(b.build()))
+        a = clone.find_state("A")
+        assert isinstance(a.entry.statements[0], EmitStmt)
+
+    def test_unsupported_format_version_rejected(self):
+        data = machine_to_dict(valid_machine())
+        data["format"] = 999
+        with pytest.raises(ModelError):
+            machine_from_dict(data)
+
+    def test_expr_round_trip(self):
+        for text in ("1", "true", "x", "!x", "-y", "a + b * c",
+                     "f(x, 2) >= 3 && !done || count % 2 == 0"):
+            expr = parse_expr(text)
+            assert expr_from_dict(expr_to_dict(expr)) == expr
+
+    def test_clone_preserves_behavior(self):
+        from repro.optim import check_equivalence
+        machine = valid_machine()
+        report = check_equivalence(machine, clone_machine(machine),
+                                   n_random=5)
+        assert report.equivalent
+
+    def test_save_and_load_file(self, tmp_path):
+        from repro.uml import save_machine, load_machine
+        machine = valid_machine()
+        path = tmp_path / "m.json"
+        save_machine(machine, str(path))
+        assert dumps_machine(load_machine(str(path))) == \
+            dumps_machine(machine)
