@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Benchmark regression guard.
+
+Compares a fresh ``pytest-benchmark`` JSON run against the most recent
+committed baseline (``BENCH_*.json`` in the repository root) and fails
+when any shared benchmark's mean time regressed by more than the
+threshold (default 25 %).
+
+Inert by design until the first baseline lands: with no ``BENCH_*.json``
+checked in, the script reports that and exits 0, so CI can run it
+unconditionally from day one.
+
+Usage:
+    python scripts/check_bench.py [--fresh PATH] [--baseline PATH]
+                                  [--threshold 0.25]
+
+Without ``--fresh`` the benchmark suite is run first (requires
+pytest-benchmark).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def load_means(path: pathlib.Path) -> dict:
+    """benchmark fullname -> mean seconds, from a pytest-benchmark JSON."""
+    with open(path) as fh:
+        data = json.load(fh)
+    means = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        mean = bench.get("stats", {}).get("mean")
+        if name and mean is not None:
+            means[name] = mean
+    return means
+
+
+def find_baseline(exclude: pathlib.Path | None) -> pathlib.Path | None:
+    candidates = [p for p in REPO_ROOT.glob("BENCH_*.json")
+                  if exclude is None or p.resolve() != exclude.resolve()]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda p: p.stat().st_mtime)
+
+
+def run_fresh() -> pathlib.Path:
+    out = pathlib.Path(tempfile.mkdtemp()) / "bench_fresh.json"
+    cmd = [sys.executable, "-m", "pytest", "benchmarks", "-q",
+           "--benchmark-json", str(out),
+           "--benchmark-warmup=off", "--benchmark-min-rounds=1"]
+    proc = subprocess.run(cmd, cwd=REPO_ROOT)
+    if proc.returncode != 0:
+        sys.exit(f"benchmark run failed (exit {proc.returncode})")
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", type=pathlib.Path,
+                        help="pytest-benchmark JSON of the fresh run "
+                             "(default: run the benchmarks/ suite now)")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        help="baseline JSON (default: newest BENCH_*.json "
+                             "in the repo root)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative mean-time regression "
+                             "(default: %(default)s)")
+    args = parser.parse_args()
+
+    if args.fresh is not None and not args.fresh.is_file():
+        sys.exit(f"check_bench: fresh run file not found: {args.fresh}")
+    fresh_path = args.fresh if args.fresh else run_fresh()
+    baseline_path = args.baseline or find_baseline(exclude=fresh_path)
+    if baseline_path is None:
+        print("check_bench: no BENCH_*.json baseline committed yet; "
+              "nothing to compare against (inert pass).")
+        return 0
+
+    baseline = load_means(baseline_path)
+    fresh = load_means(fresh_path)
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        print(f"check_bench: no shared benchmarks between "
+              f"{baseline_path.name} and {fresh_path.name} (inert pass).")
+        return 0
+
+    failures = []
+    for name in shared:
+        ratio = fresh[name] / baseline[name] if baseline[name] else 1.0
+        status = "OK"
+        if ratio > 1.0 + args.threshold:
+            status = "REGRESSION"
+            failures.append(name)
+        print(f"  {status:10s} {name}: {baseline[name]:.6f}s -> "
+              f"{fresh[name]:.6f}s ({(ratio - 1.0) * 100.0:+.1f}%)")
+
+    if failures:
+        print(f"check_bench: {len(failures)}/{len(shared)} benchmarks "
+              f"regressed more than {args.threshold:.0%} vs "
+              f"{baseline_path.name}")
+        return 1
+    print(f"check_bench: {len(shared)} benchmarks within "
+          f"{args.threshold:.0%} of {baseline_path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

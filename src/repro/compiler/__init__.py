@@ -3,17 +3,23 @@
 Pipeline: C++ subset AST -> GIMPLE (frontend) -> SSA optimizations
 (CCP, copy propagation, DCE, CFG cleanup, inlining) -> RTL instruction
 selection (jump-table/compare-chain switch lowering) -> linear-scan
-register allocation -> peephole -> RT32 assembly with byte-accurate
-size accounting.
+register allocation -> peephole -> assembly with byte-accurate size
+accounting for any registered target (``rt32`` by default, compact
+``rt16`` built in; see :mod:`repro.compiler.target`).
 """
 
 from .asm import AsmModule
 from .driver import CompileResult, OptLevel, compile_program, compile_unit
 from .frontend.lower import ClassLayout, LoweringError, lower_unit, mangle
 from .gimple.ir import Program
+from .target import (TargetDescription, UnknownTargetError,
+                     available_targets, get_target, register_target,
+                     resolve_target)
 
 __all__ = [
     "AsmModule", "CompileResult", "OptLevel", "compile_program",
     "compile_unit", "ClassLayout", "LoweringError", "lower_unit", "mangle",
     "Program",
+    "TargetDescription", "UnknownTargetError", "available_targets",
+    "get_target", "register_target", "resolve_target",
 ]

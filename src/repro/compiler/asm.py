@@ -17,10 +17,11 @@ accounting the experiments report:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .gimple.ir import DataObject, SymbolRef
 from .rtl.ir import RInstr, RTLFunction
+from .target.description import TargetDescription
 
 __all__ = ["AsmModule"]
 
@@ -32,6 +33,7 @@ class AsmModule:
     name: str
     functions: List[RTLFunction] = field(default_factory=list)
     data_objects: List[DataObject] = field(default_factory=list)
+    target: Optional[TargetDescription] = None  # ISA the module targets
 
     # -- sizes -------------------------------------------------------------
     @property
@@ -73,7 +75,8 @@ class AsmModule:
 
     # -- rendering -----------------------------------------------------------
     def listing(self) -> str:
-        lines: List[str] = [f"; module {self.name}",
+        target_note = f" target={self.target.name}" if self.target else ""
+        lines: List[str] = [f"; module {self.name}{target_note}",
                             f"; text={self.text_size} rodata="
                             f"{self.rodata_size} data={self.data_size} "
                             f"bss={self.bss_size} total={self.total_size}",

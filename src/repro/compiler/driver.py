@@ -20,10 +20,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from ..cpp import ast as cpp
 from .asm import AsmModule
+from .target.description import TargetDescription
+from .target.registry import resolve_target
 from .frontend.lower import lower_unit
 from .gimple.cfg import remove_unreachable_blocks
 from .gimple.ir import DataObject, Program, SymbolRef
@@ -68,6 +70,7 @@ class CompileResult:
     opt_level: OptLevel
     pass_stats: Dict[str, int] = field(default_factory=dict)
     dumps: Dict[str, str] = field(default_factory=dict)
+    target: Optional[TargetDescription] = None  # ISA compiled for
 
     @property
     def total_size(self) -> int:
@@ -136,37 +139,46 @@ def _middle_end(program: Program, level: OptLevel,
 
 
 def compile_program(program: Program, level: OptLevel = OptLevel.OS,
-                    capture_dumps: bool = False) -> CompileResult:
-    """Run the middle end + backend over an already-lowered program."""
+                    capture_dumps: bool = False,
+                    target: Union[TargetDescription, str, None] = None,
+                    ) -> CompileResult:
+    """Run the middle end + backend over an already-lowered program.
+
+    *target* selects the backend ISA — a registered name (``"rt32"``,
+    ``"rt16"``), a :class:`TargetDescription`, or None for the default.
+    """
+    tgt = resolve_target(target)
     stats: Dict[str, int] = {}
     dumps: Dict[str, str] = {}
     _middle_end(program, level, stats, dumps, capture_dumps)
 
-    module = AsmModule(program.name)
-    lowering = SwitchLowering(optimize_for_size=level.for_size)
+    module = AsmModule(program.name, target=tgt)
+    lowering = SwitchLowering(optimize_for_size=level.for_size, target=tgt)
     jump_tables: List[DataObject] = []
 
     def rodata_sink(name: str, symbols: List[str]) -> None:
         jump_tables.append(DataObject(
-            name, [SymbolRef(s) for s in symbols], "rodata"))
+            name, [SymbolRef(s) for s in symbols], "rodata",
+            word_size=tgt.jump_table_entry_size))
 
     for fn in program.functions.values():
-        rtl = select_function(fn, lowering, rodata_sink)
+        rtl = select_function(fn, lowering, rodata_sink, target=tgt)
         if level.optimizes:
-            stats["fuse"] = stats.get("fuse", 0) + fuse_compare_branches(rtl)
-        allocate_registers(rtl)
+            stats["fuse"] = stats.get("fuse", 0) + \
+                fuse_compare_branches(rtl, target=tgt)
+        allocate_registers(rtl, target=tgt)
         if level.optimizes:
             stats["peephole"] = stats.get("peephole", 0) + run_peephole(rtl)
-        _add_prologue_epilogue(rtl)
+        _add_prologue_epilogue(rtl, tgt)
         module.functions.append(rtl)
 
     module.data_objects.extend(program.data.values())
     module.data_objects.extend(jump_tables)
     return CompileResult(module=module, program=program, opt_level=level,
-                         pass_stats=stats, dumps=dumps)
+                         pass_stats=stats, dumps=dumps, target=tgt)
 
 
-def _add_prologue_epilogue(rtl) -> None:
+def _add_prologue_epilogue(rtl, target: TargetDescription) -> None:
     """Attach frame setup: push/pop used callee-saved registers (+ lr
     unless the function is a leaf), and a stack adjustment when spill
     slots exist."""
@@ -174,12 +186,13 @@ def _add_prologue_epilogue(rtl) -> None:
     saved = list(rtl.saved_regs) + ([] if is_leaf else ["lr"])
     prologue = [RInstr("push", uses=(reg,), comment="prologue")
                 for reg in saved]
+    frame_bytes = target.word_size * rtl.frame_slots
     if rtl.frame_slots:
-        prologue.append(RInstr("addsp", imm=-4 * rtl.frame_slots,
+        prologue.append(RInstr("addsp", imm=-frame_bytes,
                                comment="frame"))
     epilogue: List[RInstr] = []
     if rtl.frame_slots:
-        epilogue.append(RInstr("addsp", imm=4 * rtl.frame_slots))
+        epilogue.append(RInstr("addsp", imm=frame_bytes))
     epilogue.extend(RInstr("pop", defs=(reg,)) for reg in reversed(saved))
     # Insert the epilogue before every ret.
     new_instrs = list(prologue)
@@ -191,7 +204,11 @@ def _add_prologue_epilogue(rtl) -> None:
 
 
 def compile_unit(unit: cpp.TranslationUnit, level: OptLevel = OptLevel.OS,
-                 capture_dumps: bool = False) -> CompileResult:
-    """Compile a C++ translation unit down to RT32 assembly."""
+                 capture_dumps: bool = False,
+                 target: Union[TargetDescription, str, None] = None,
+                 ) -> CompileResult:
+    """Compile a C++ translation unit down to assembly for *target*
+    (default target when none is given)."""
     program = lower_unit(unit)
-    return compile_program(program, level=level, capture_dumps=capture_dumps)
+    return compile_program(program, level=level, capture_dumps=capture_dumps,
+                           target=target)

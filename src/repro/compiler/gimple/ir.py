@@ -550,20 +550,24 @@ DataItem = Union[int, SymbolRef]
 
 @dataclass
 class DataObject:
-    """A statically-initialized global: a sequence of 32-bit words.
+    """A statically-initialized global: a sequence of data words.
 
     ``section`` is ``"rodata"`` (const tables, vtables), ``"data"``
     (initialized mutables) or ``"bss"`` (zero-initialized; contributes no
     image bytes in the paper's .s-size sense but is reported separately).
+    ``word_size`` is 4 for ordinary 32-bit data; backends may store
+    compact tables (e.g. a target's jump-table slots) with a different
+    per-entry size.
     """
 
     name: str
     words: List[DataItem] = field(default_factory=list)
     section: str = "data"
+    word_size: int = 4
 
     @property
     def size(self) -> int:
-        return 4 * len(self.words)
+        return self.word_size * len(self.words)
 
 
 class Program:

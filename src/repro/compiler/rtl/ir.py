@@ -4,12 +4,13 @@ Paper §II.C describes GCC's RTL as "a low-level representation [that]
 works well for optimizations that are close to the target".  MGCC's RTL
 is a linear instruction stream (with labels) over virtual registers that
 instruction selection produces from GIMPLE and that register allocation
-rewrites onto the RT32 register file.
+rewrites onto the selected target's register file.
 
 An :class:`RInstr` is deliberately generic — mnemonic plus def/use
 register lists, an optional immediate, symbol and branch target — so the
 register allocator and peephole passes can treat all instructions
-uniformly; the mnemonic's entry in :mod:`..target.rt32` fixes its size.
+uniformly; the mnemonic's entry in the function's
+:class:`~..target.TargetDescription` fixes its size.
 """
 
 from __future__ import annotations
@@ -17,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
-from ..target.rt32 import insn_size
+from ..target.description import TargetDescription
+from ..target.registry import resolve_target
 
 __all__ = ["RInstr", "RTLFunction", "label", "is_branch"]
 
@@ -43,9 +45,15 @@ class RInstr:
     table: Optional[Tuple[str, ...]] = None  # jump-table target labels
     comment: str = ""
 
-    @property
-    def size(self) -> int:
-        return insn_size(self.op)
+    def size_on(self, target: TargetDescription) -> int:
+        """Encoded size of this instruction on *target*.
+
+        There is deliberately no target-free ``size`` accessor: an
+        instruction does not know which ISA its function was selected
+        for, so size accounting goes through
+        :meth:`RTLFunction.text_size` (which uses the function's own
+        target) or this method."""
+        return target.insn_size(self.op)
 
     def rewrite_regs(self, mapping) -> "RInstr":
         """Return a copy with registers substituted through *mapping*
@@ -90,14 +98,21 @@ class RTLFunction:
     instrs: List[RInstr] = field(default_factory=list)
     frame_slots: int = 0  # spill slots allocated by regalloc
     saved_regs: Tuple[str, ...] = ()
+    target: Optional[TargetDescription] = None  # None -> default target
 
     def emit(self, instr: RInstr) -> RInstr:
         self.instrs.append(instr)
         return instr
 
     @property
+    def target_desc(self) -> TargetDescription:
+        """The function's target (the default when none was set)."""
+        return resolve_target(self.target)
+
+    @property
     def text_size(self) -> int:
-        return sum(i.size for i in self.instrs)
+        sizes = self.target_desc.insn_sizes
+        return sum(sizes[i.op] for i in self.instrs)
 
     def listing(self) -> str:
         lines = [f"{self.name}:"]

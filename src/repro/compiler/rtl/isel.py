@@ -1,4 +1,4 @@
-"""Instruction selection: GIMPLE -> RT32 RTL.
+"""Instruction selection: GIMPLE -> target RTL.
 
 Walks the (non-SSA) GIMPLE blocks in layout order and emits a linear RTL
 stream with one virtual register per GIMPLE register.  The interesting
@@ -10,16 +10,20 @@ decision is ``switch`` lowering — like GCC, MGCC picks between
 
 choosing whichever is smaller under ``-Os`` and using a density heuristic
 otherwise.  The chosen table data is appended to the program's rodata.
+The cost constants and immediate ranges come from the selected
+:class:`~..target.TargetDescription`, so different targets can make
+different lowering decisions for the same GIMPLE (RT16's wide table
+dispatch pushes it toward chains where RT32 tables).
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..gimple import ir as g
-from ..target.rt32 import (COMPARE_CHAIN_PER_CASE, JUMP_TABLE_OVERHEAD,
-                           fits_imm16)
+from ..target.description import TargetDescription
+from ..target.registry import resolve_target
 from .ir import RInstr, RTLFunction, label
 
 __all__ = ["select_function", "SwitchLowering"]
@@ -36,17 +40,22 @@ class SwitchLowering:
 
     def __init__(self, optimize_for_size: bool = False,
                  density_threshold: float = 0.5,
-                 min_table_cases: int = 4) -> None:
+                 min_table_cases: int = 4,
+                 target: Union[TargetDescription, str, None] = None) -> None:
         self.optimize_for_size = optimize_for_size
         self.density_threshold = density_threshold
         self.min_table_cases = min_table_cases
+        self.target = resolve_target(target)
 
-    def use_jump_table(self, case_values: List[int]) -> bool:
+    def use_jump_table(self, case_values: List[int],
+                       target: Optional[TargetDescription] = None) -> bool:
+        tgt = target if target is not None else self.target
         if len(case_values) < 2:
             return False
         span = max(case_values) - min(case_values) + 1
-        chain_cost = COMPARE_CHAIN_PER_CASE * len(case_values)
-        table_cost = JUMP_TABLE_OVERHEAD + 4 * span
+        chain_cost = tgt.compare_chain_per_case * len(case_values)
+        table_cost = (tgt.jump_table_overhead
+                      + tgt.jump_table_entry_size * span)
         if self.optimize_for_size:
             return table_cost < chain_cost
         density = len(case_values) / span
@@ -56,11 +65,12 @@ class SwitchLowering:
 
 class _FnSelector:
     def __init__(self, fn: g.GimpleFunction, lowering: SwitchLowering,
-                 rodata_sink) -> None:
+                 rodata_sink, target: TargetDescription) -> None:
         self.fn = fn
         self.lowering = lowering
         self.rodata_sink = rodata_sink
-        self.rtl = RTLFunction(fn.name)
+        self.target = target
+        self.rtl = RTLFunction(fn.name, target=target)
         self.vreg_of: Dict[g.Reg, str] = {}
         self._counter = itertools.count()
         self._jt_counter = itertools.count()
@@ -83,7 +93,7 @@ class _FnSelector:
         return dst
 
     def emit_li(self, dst: str, value: int) -> None:
-        op = "li" if fits_imm16(value) else "li32"
+        op = "li" if self.target.fits_imm16(value) else "li32"
         self.rtl.emit(RInstr(op, defs=(dst,), imm=value))
 
     # -- driver ------------------------------------------------------------
@@ -157,7 +167,8 @@ class _FnSelector:
     def select_binop(self, instr: g.BinOp) -> None:
         dst = self.vreg(instr.dst)
         if instr.op in ("+", "-") and isinstance(instr.b, int) and \
-                -2048 <= instr.b < 2048 and isinstance(instr.a, g.Reg):
+                self.target.fits_small_imm(instr.b) and \
+                isinstance(instr.a, g.Reg):
             imm = instr.b if instr.op == "+" else -instr.b
             self.rtl.emit(RInstr("addi", defs=(dst,),
                                  uses=(self.vreg(instr.a),), imm=imm))
@@ -168,7 +179,8 @@ class _FnSelector:
             if isinstance(a_op, int) and not isinstance(b_op, int):
                 a_op, b_op = b_op, a_op
                 op = _MIRRORED_CMP[op]
-            if isinstance(b_op, int) and -2048 <= b_op < 2048 and \
+            if isinstance(b_op, int) and \
+                    self.target.fits_small_imm(b_op) and \
                     isinstance(a_op, g.Reg):
                 self.rtl.emit(RInstr(_CMP_MNEMONIC[op] + "i", defs=(dst,),
                                      uses=(self.vreg(a_op),), imm=b_op))
@@ -224,7 +236,9 @@ class _FnSelector:
                       next_label: Optional[str]) -> None:
         value = self.operand(term.value)
         case_values = sorted(term.cases)
-        if self.lowering.use_jump_table(case_values):
+        # Cost the decision against the target actually being selected
+        # for, which may differ from the lowering's default target.
+        if self.lowering.use_jump_table(case_values, target=self.target):
             lo, hi = case_values[0], case_values[-1]
             slots: List[str] = []
             for v in range(lo, hi + 1):
@@ -249,7 +263,11 @@ class _FnSelector:
 
 
 def select_function(fn: g.GimpleFunction, lowering: SwitchLowering,
-                    rodata_sink) -> RTLFunction:
-    """Lower *fn* to RTL.  ``rodata_sink(name, symbol_list)`` receives any
-    jump tables the lowering creates."""
-    return _FnSelector(fn, lowering, rodata_sink).run()
+                    rodata_sink,
+                    target: Union[TargetDescription, str, None] = None,
+                    ) -> RTLFunction:
+    """Lower *fn* to RTL for *target* (default: the lowering's target).
+    ``rodata_sink(name, symbol_list)`` receives any jump tables the
+    lowering creates."""
+    resolved = lowering.target if target is None else resolve_target(target)
+    return _FnSelector(fn, lowering, rodata_sink, resolved).run()

@@ -17,8 +17,10 @@ encoded bytes.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set, Union
 
+from ..target.description import TargetDescription
+from ..target.registry import resolve_target
 from .ir import RInstr, RTLFunction
 
 __all__ = ["run_peephole", "fuse_compare_branches"]
@@ -34,15 +36,19 @@ _NEGATED = {"beq": "bne", "bne": "beq", "blt": "bge", "ble": "bgt",
             "bgti": "blei", "bgei": "blti"}
 
 
-def fuse_compare_branches(rtl: RTLFunction) -> int:
+def fuse_compare_branches(rtl: RTLFunction,
+                          target: Union[TargetDescription, str, None] = None,
+                          ) -> int:
     """Fuse ``set<cc> v, a, b; bnez v, L`` into ``b<cc> a, b, L``.
 
     Runs on virtual-register RTL (before allocation), where use counts
     are reliable: the fusion fires only when the compare result feeds
     exactly that one branch.  ``beqz`` fuses with the negated condition.
-    Saves one 8-byte set per compare-driven branch — the dominant pattern
-    in switch chains and table-scan loops.
+    Saves one full set encoding per compare-driven branch — the dominant
+    pattern in switch chains and table-scan loops.  Fusion is skipped for
+    mnemonics the target does not encode.
     """
+    tgt = resolve_target(target) if target is not None else rtl.target_desc
     use_count: Counter = Counter()
     for instr in rtl.instrs:
         for reg in instr.uses:
@@ -61,6 +67,10 @@ def fuse_compare_branches(rtl: RTLFunction) -> int:
             mnemonic = branch_map[instr.op]
             if nxt.op == "beqz":
                 mnemonic = _NEGATED[mnemonic]
+            if not tgt.has_insn(mnemonic):
+                new_instrs.append(instr)
+                i += 1
+                continue
             new_instrs.append(RInstr(mnemonic, uses=instr.uses,
                                      imm=instr.imm, target=nxt.target,
                                      comment=instr.comment))

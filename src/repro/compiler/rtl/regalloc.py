@@ -1,4 +1,4 @@
-"""Linear-scan register allocation for RT32.
+"""Linear-scan register allocation, parameterized by target.
 
 Implements Poletto & Sarkar's linear scan over the RTL stream:
 
@@ -6,10 +6,10 @@ Implements Poletto & Sarkar's linear scan over the RTL stream:
    liveness dataflow so intervals are correct across loops;
 2. build one conservative live interval per virtual register (covering
    every program point where the register is live);
-3. scan intervals in start order, assigning the ten callee-saved ``s``
-   registers; when none is free, spill the interval that ends last;
-4. rewrite the stream — spilled registers get frame slots, with ``t0``/
-   ``t1`` as reload scratch.
+3. scan intervals in start order, assigning the target's callee-saved
+   ``s`` registers; when none is free, spill the interval that ends last;
+4. rewrite the stream — spilled registers get frame slots, with the
+   target's two scratch registers as reload temporaries.
 
 The allocator records which physical registers a function used so the
 driver can emit exactly the push/pop prologue the function needs (the
@@ -19,9 +19,10 @@ size accounting the experiments depend on).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
-from ..target.rt32 import ALLOCATABLE_REGS, SCRATCH_REGS
+from ..target.description import TargetDescription
+from ..target.registry import resolve_target
 from .ir import RInstr, RTLFunction, is_branch
 
 __all__ = ["allocate_registers", "AllocationError", "live_intervals"]
@@ -153,12 +154,19 @@ def live_intervals(rtl: RTLFunction) -> Dict[str, Tuple[int, int]]:
     return intervals
 
 
-def allocate_registers(rtl: RTLFunction) -> RTLFunction:
-    """Run linear scan; returns *rtl* rewritten onto physical registers."""
+def allocate_registers(rtl: RTLFunction,
+                       target: Union[TargetDescription, str, None] = None,
+                       ) -> RTLFunction:
+    """Run linear scan; returns *rtl* rewritten onto physical registers.
+
+    The register file comes from *target* (default: the function's own
+    target, falling back to the registry default)."""
+    tgt = resolve_target(target) if target is not None else rtl.target_desc
+    rtl.target = tgt
     intervals = live_intervals(rtl)
     order = sorted(intervals.items(), key=lambda kv: (kv[1][0], kv[1][1]))
 
-    free: List[str] = list(ALLOCATABLE_REGS)
+    free: List[str] = list(tgt.allocatable_regs)
     active: List[Tuple[int, str, str]] = []  # (end, vreg, phys)
     assignment: Dict[str, str] = {}
     spilled: Dict[str, int] = {}
@@ -199,7 +207,8 @@ def allocate_registers(rtl: RTLFunction) -> RTLFunction:
 
     rtl.frame_slots = len(spilled)
 
-    scratch0, scratch1 = SCRATCH_REGS
+    scratch0, scratch1 = tgt.scratch_regs
+    slot_bytes = tgt.word_size
     new_instrs: List[RInstr] = []
     for instr in rtl.instrs:
         if instr.op == "label":
@@ -238,11 +247,12 @@ def allocate_registers(rtl: RTLFunction) -> RTLFunction:
                         f"{rtl.name}: out of scratch registers for spills")
                 if not for_def:
                     reloads.append(RInstr("lw", defs=(local_map[reg],),
-                                          uses=("sp",), imm=4 * slot,
+                                          uses=("sp",),
+                                          imm=slot_bytes * slot,
                                           comment=f"reload {reg}"))
             if for_def:
                 stores.append(RInstr("sw", uses=(local_map[reg], "sp"),
-                                     imm=4 * slot,
+                                     imm=slot_bytes * slot,
                                      comment=f"spill {reg}"))
             return local_map[reg]
 
@@ -259,6 +269,6 @@ def allocate_registers(rtl: RTLFunction) -> RTLFunction:
     # stream touches (scratch registers are the caller's problem).
     used = {reg for instr in new_instrs
             for reg in tuple(instr.defs) + tuple(instr.uses)
-            if reg in ALLOCATABLE_REGS}
+            if reg in tgt.allocatable_regs}
     rtl.saved_regs = tuple(sorted(used))
     return rtl

@@ -1,0 +1,25 @@
+"""Pluggable target descriptions for the RTL backend.
+
+``TargetDescription`` carries everything the backend needs to know about
+an ISA (register file, per-mnemonic encoded sizes, switch-lowering cost
+constants, immediate ranges); the registry maps names to descriptions so
+drivers and CLIs can select targets with a string.  Two targets ship
+built in:
+
+* ``rt32`` — the reference 32-bit RISC the seed's measurements use;
+* ``rt16`` — a compact Thumb-like encoding proving retargetability.
+"""
+
+from .description import TargetDescription, TargetError
+from .registry import (DEFAULT_TARGET_NAME, UnknownTargetError,
+                       available_targets, get_target, register_target,
+                       resolve_target)
+from .rt16 import RT16
+from .rt32 import RT32
+
+__all__ = [
+    "TargetDescription", "TargetError",
+    "DEFAULT_TARGET_NAME", "UnknownTargetError", "available_targets",
+    "get_target", "register_target", "resolve_target",
+    "RT16", "RT32",
+]

@@ -1,0 +1,75 @@
+"""RT16: a compact Thumb-like 16-bit-encoding target.
+
+Same 32-bit data words as RT32, but most instructions encode in two
+bytes — the classic code-density play of Thumb/RV32C class ISAs, and the
+second registered target that proves the backend is genuinely
+retargetable.  The compact encoding buys its density with:
+
+* a narrower ``li`` immediate (8-bit signed; anything wider needs the
+  6-byte ``li32`` mov/movt pair) and a matching 8-bit ALU immediate;
+* a smaller allocatable register file (six ``s`` registers instead of
+  ten), so high-pressure functions spill earlier;
+* a *wider* jump-table dispatch: without a single-instruction ``jt`` the
+  bounds check, scale and indirect jump take 18 bytes of setup, so the
+  ``-Os`` switch-lowering cost model leans toward compare chains — a
+  genuinely different lowering decision than RT32 makes on the same
+  GIMPLE (multiply/divide also stay 4-byte, as compact ISAs keep them
+  in the 32-bit encoding plane).
+"""
+
+from __future__ import annotations
+
+from .description import TargetDescription
+from .registry import register_target
+
+__all__ = ["RT16"]
+
+_HALF = 2      # compact encoding
+_WORD = 4      # 32-bit encoding plane (mul/div, call, set/branch forms)
+
+INSN_SIZES = {
+    # pseudo
+    "label": 0,
+    # moves / ABI shuffles
+    "mv": _HALF, "argmv": _HALF, "retmv": _HALF,
+    # constants and addresses (li32/la = mov + movt pair)
+    "li": _HALF, "li32": 6, "la": 6,
+    # ALU (mul/div/mod live in the 32-bit encoding plane)
+    "add": _HALF, "sub": _HALF, "mul": _WORD, "div": _WORD, "mod": _WORD,
+    "neg": _HALF, "addi": _HALF,
+    # compare-and-set
+    "seteq": _WORD, "setne": _WORD, "setlt": _WORD,
+    "setle": _WORD, "setgt": _WORD, "setge": _WORD,
+    "seteqi": _WORD, "setnei": _WORD, "setlti": _WORD,
+    "setlei": _WORD, "setgti": _WORD, "setgei": _WORD,
+    # memory
+    "lw": _HALF, "sw": _HALF, "lwg": 6, "swg": 6,
+    # control flow
+    "b": _HALF, "bnez": _HALF, "beqz": _HALF, "ret": _HALF,
+    "call": _WORD, "callr": _HALF, "jt": 18,
+    # fused compare-branches cost one set, as on RT32
+    "beq": _WORD, "bne": _WORD, "blt": _WORD,
+    "ble": _WORD, "bgt": _WORD, "bge": _WORD,
+    "beqi": _WORD, "bnei": _WORD, "blti": _WORD,
+    "blei": _WORD, "bgti": _WORD, "bgei": _WORD,
+    # stack / frame
+    "push": _HALF, "pop": _HALF, "addsp": _HALF,
+}
+
+# replace=True: the builtin must win (and never crash) even if other
+# code registered a target under this name before the lazy builtin load.
+RT16 = register_target(TargetDescription(
+    name="rt16",
+    description="compact 16-bit encodings, Thumb-like",
+    word_size=4,
+    allocatable_regs=tuple(f"s{i}" for i in range(6)),
+    scratch_regs=("t0", "t1"),
+    insn_sizes=INSN_SIZES,
+    compare_chain_per_case=INSN_SIZES["beqi"],
+    jump_table_overhead=INSN_SIZES["jt"] + INSN_SIZES["b"],
+    jump_table_entry_size=4,
+    imm16_min=-128,
+    imm16_max=127,
+    small_imm_min=-128,
+    small_imm_max=127,
+), replace=True)

@@ -1,0 +1,92 @@
+"""RT32: the reproduction's reference 32-bit RISC target.
+
+A classic fixed-width RISC in the paper's RTES spirit: 32-bit words,
+4-byte base encodings, and a register file with ten callee-saved ``s``
+registers plus two caller-saved ``t`` scratch registers the spiller
+uses.  Compare-and-set (and the fused compare-branches the peephole
+produces) need a double word — which is exactly why fusing
+``set<cc>; bnez`` into ``b<cc>`` saves one full 8-byte set.
+
+This module doubles as the compatibility surface the seed tests pin
+down: ``ALLOCATABLE_REGS``, ``SCRATCH_REGS``, ``INSN_SIZES``,
+``insn_size``, ``fits_imm16`` and the switch-lowering cost constants are
+re-exported at module level, all backed by the :data:`RT32`
+:class:`~.description.TargetDescription`.
+"""
+
+from __future__ import annotations
+
+from .description import TargetDescription
+from .registry import register_target
+
+__all__ = ["RT32", "ALLOCATABLE_REGS", "SCRATCH_REGS", "INSN_SIZES",
+           "COMPARE_CHAIN_PER_CASE", "JUMP_TABLE_OVERHEAD",
+           "insn_size", "fits_imm16"]
+
+_WORD = 4      # base encoding width
+_DOUBLE = 8    # compare/set, wide-immediate and global-address forms
+
+INSN_SIZES = {
+    # pseudo
+    "label": 0,
+    # moves / ABI shuffles
+    "mv": _WORD, "argmv": _WORD, "retmv": _WORD,
+    # constants and addresses
+    "li": _WORD, "li32": _DOUBLE, "la": _DOUBLE,
+    # ALU
+    "add": _WORD, "sub": _WORD, "mul": _WORD, "div": _WORD, "mod": _WORD,
+    "neg": _WORD, "addi": _WORD,
+    # compare-and-set (register and immediate forms)
+    "seteq": _DOUBLE, "setne": _DOUBLE, "setlt": _DOUBLE,
+    "setle": _DOUBLE, "setgt": _DOUBLE, "setge": _DOUBLE,
+    "seteqi": _DOUBLE, "setnei": _DOUBLE, "setlti": _DOUBLE,
+    "setlei": _DOUBLE, "setgti": _DOUBLE, "setgei": _DOUBLE,
+    # memory
+    "lw": _WORD, "sw": _WORD, "lwg": _DOUBLE, "swg": _DOUBLE,
+    # control flow
+    "b": _WORD, "bnez": _WORD, "beqz": _WORD, "ret": _WORD,
+    "call": _WORD, "callr": _WORD, "jt": 12,
+    # fused compare-branches: one set's worth of encoding, not set+branch
+    "beq": _DOUBLE, "bne": _DOUBLE, "blt": _DOUBLE,
+    "ble": _DOUBLE, "bgt": _DOUBLE, "bge": _DOUBLE,
+    "beqi": _DOUBLE, "bnei": _DOUBLE, "blti": _DOUBLE,
+    "blei": _DOUBLE, "bgti": _DOUBLE, "bgei": _DOUBLE,
+    # stack / frame
+    "push": _WORD, "pop": _WORD, "addsp": _WORD,
+}
+
+ALLOCATABLE_REGS = tuple(f"s{i}" for i in range(10))
+SCRATCH_REGS = ("t0", "t1")
+
+#: one fused ``beqi`` per case in a compare chain
+COMPARE_CHAIN_PER_CASE = INSN_SIZES["beqi"]
+#: the ``jt`` dispatch sequence plus the out-of-range fallback branch
+JUMP_TABLE_OVERHEAD = INSN_SIZES["jt"] + INSN_SIZES["b"]
+
+# replace=True: the builtin must win (and never crash) even if other
+# code registered a target under this name before the lazy builtin load.
+RT32 = register_target(TargetDescription(
+    name="rt32",
+    description="32-bit RISC, 4-byte base encodings",
+    word_size=4,
+    allocatable_regs=ALLOCATABLE_REGS,
+    scratch_regs=SCRATCH_REGS,
+    insn_sizes=INSN_SIZES,
+    compare_chain_per_case=COMPARE_CHAIN_PER_CASE,
+    jump_table_overhead=JUMP_TABLE_OVERHEAD,
+    jump_table_entry_size=4,
+    imm16_min=-32768,
+    imm16_max=32767,
+    small_imm_min=-2048,
+    small_imm_max=2047,
+), replace=True)
+
+
+def insn_size(op: str) -> int:
+    """Encoded size of *op* on RT32; ``KeyError`` on unknown mnemonics."""
+    return RT32.insn_size(op)
+
+
+def fits_imm16(value: int) -> bool:
+    """Does *value* fit RT32's 16-bit ``li`` immediate?"""
+    return RT32.fits_imm16(value)

@@ -1,17 +1,46 @@
-"""Run every experiment harness: ``python -m repro.experiments``."""
+"""Run every experiment harness: ``python -m repro.experiments``.
 
+``--target`` selects the backend ISA (any name in the target registry;
+see ``repro.compiler.target``).  Unknown names exit with status 2 and
+the list of registered targets on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..compiler.target import (UnknownTargetError, available_targets,
+                               get_target)
 from . import figure1, sweeps, table1, table2
 
 
-def main() -> None:
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables/figures and the "
+                    "reproduction's extra sweeps.")
+    parser.add_argument(
+        "--target", default="rt32", metavar="NAME",
+        help="backend ISA to compile for (registered targets: "
+             f"{', '.join(available_targets())}; default: %(default)s)")
+    args = parser.parse_args(argv)
+    try:
+        target = get_target(args.target)
+    except UnknownTargetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     for title, module in (("FIGURE 1", figure1), ("TABLE 1", table1),
                           ("TABLE 2", table2), ("SWEEPS", sweeps)):
         print("#" * 72)
-        print(f"# {title}")
+        print(f"# {title}  (target: {target.name})")
         print("#" * 72)
-        print(module.main())
+        print(module.main(target=target))
         print()
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -23,9 +23,10 @@ Run as ``python -m repro.experiments.figure1``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Union
 
 from ..compiler import OptLevel
+from ..compiler.target import TargetDescription, resolve_target
 from ..pipeline import CompareResult, compile_machine, optimize_and_compare
 from .models import (flat_machine_with_unreachable_state,
                      hierarchical_machine_with_shadowed_composite)
@@ -58,11 +59,14 @@ def _dce_keeps_code(machine, marker: str) -> bool:
     return marker in result.dump_after("dce")
 
 
-def run_figure1(pattern: str = "nested-switch") -> List[Figure1Row]:
+def run_figure1(pattern: str = "nested-switch",
+                target: Union[TargetDescription, str, None] = None,
+                ) -> List[Figure1Row]:
     """Regenerate both Figure 1 rows."""
     rows: List[Figure1Row] = []
     flat = flat_machine_with_unreachable_state()
-    cmp_flat: CompareResult = optimize_and_compare(flat, pattern)
+    cmp_flat: CompareResult = optimize_and_compare(flat, pattern,
+                                                   target=target)
     rows.append(Figure1Row(
         example="flat (unreachable state S2)",
         pattern=pattern,
@@ -73,7 +77,7 @@ def run_figure1(pattern: str = "nested-switch") -> List[Figure1Row]:
         behavior_preserved=cmp_flat.equivalence.equivalent,
     ))
     hier = hierarchical_machine_with_shadowed_composite()
-    cmp_hier = optimize_and_compare(hier, pattern)
+    cmp_hier = optimize_and_compare(hier, pattern, target=target)
     rows.append(Figure1Row(
         example="hierarchical (shadowed composite S3)",
         pattern=pattern,
@@ -86,11 +90,12 @@ def run_figure1(pattern: str = "nested-switch") -> List[Figure1Row]:
     return rows
 
 
-def main() -> str:
-    rows = run_figure1()
+def main(target: Union[TargetDescription, str, None] = None) -> str:
+    tgt = resolve_target(target)
+    rows = run_figure1(target=tgt)
     table = render_table(
         "Figure 1 - model optimization impact on assembly size "
-        "(MGCC -Os, RT32 bytes; paper: GCC 4.3.2 -Os)",
+        f"(MGCC -Os, {tgt.name.upper()} bytes; paper: GCC 4.3.2 -Os)",
         ["example", "before (B)", "after (B)", "gain",
          "DCE kept dead code", "behavior preserved"],
         [[r.example, r.size_before, r.size_after,

@@ -15,7 +15,10 @@ DESIGN.md calls out:
 * :func:`pass_ablation` — per-model-pass contribution to the final size;
 * :func:`opt_level_sweep` — the compiler's own ``-O`` levels on the
   *non*-optimized model: how much of the problem the compiler alone can
-  and cannot recover.
+  and cannot recover;
+* :func:`target_sweep` — every pattern compiled for every registered
+  target: the cross-ISA code-size comparison the multi-backend
+  architecture exists for.
 
 Run as ``python -m repro.experiments.sweeps``.
 """
@@ -23,9 +26,10 @@ Run as ``python -m repro.experiments.sweeps``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
-from ..compiler import OptLevel
+from ..compiler import OptLevel, available_targets
+from ..compiler.target import TargetDescription, resolve_target
 from ..optim import DEFAULT_PIPELINE, optimize
 from ..pipeline import compile_machine, optimize_and_compare
 from .models import hierarchical_machine_with_shadowed_composite
@@ -34,7 +38,7 @@ from .workload import WorkloadSpec, generate_machine
 
 __all__ = ["SweepPoint", "unreachable_sweep", "composite_sweep",
            "pattern_scaling_sweep", "pass_ablation", "opt_level_sweep",
-           "main"]
+           "target_sweep", "TargetSweepRow", "main"]
 
 
 @dataclass(frozen=True)
@@ -56,32 +60,39 @@ class SweepPoint:
 
 def unreachable_sweep(dead_counts: Sequence[int] = (0, 1, 2, 4, 8),
                       pattern: str = "nested-switch",
-                      n_live: int = 5) -> List[SweepPoint]:
+                      n_live: int = 5,
+                      target: Union[TargetDescription, str, None] = None,
+                      ) -> List[SweepPoint]:
     """Gain as a function of the number of removed (dead) states."""
     points = []
     for n_dead in dead_counts:
         machine = generate_machine(WorkloadSpec(n_live=n_live,
                                                 n_dead=n_dead))
-        cmp = optimize_and_compare(machine, pattern, check_behavior=False)
+        cmp = optimize_and_compare(machine, pattern, check_behavior=False,
+                                   target=target)
         points.append(SweepPoint(n_dead, f"{n_dead} dead states",
                                  cmp.size_before, cmp.size_after))
     return points
 
 
 def composite_sweep(widths: Sequence[int] = (1, 2, 4, 8),
-                    pattern: str = "nested-switch") -> List[SweepPoint]:
+                    pattern: str = "nested-switch",
+                    target: Union[TargetDescription, str, None] = None,
+                    ) -> List[SweepPoint]:
     """Gain as the shadowed composite's submachine grows."""
     points = []
     for width in widths:
         machine = generate_machine(WorkloadSpec(
             n_live=4, n_shadowed_composites=1, composite_width=width))
-        cmp = optimize_and_compare(machine, pattern, check_behavior=False)
+        cmp = optimize_and_compare(machine, pattern, check_behavior=False,
+                                   target=target)
         points.append(SweepPoint(width, f"width {width}",
                                  cmp.size_before, cmp.size_after))
     return points
 
 
 def pattern_scaling_sweep(sizes: Sequence[int] = (4, 8, 16, 24),
+                          target: Union[TargetDescription, str, None] = None,
                           ) -> Dict[str, List[SweepPoint]]:
     """Absolute size per pattern as the (live) machine grows."""
     from ..codegen import ALL_GENERATORS
@@ -90,67 +101,115 @@ def pattern_scaling_sweep(sizes: Sequence[int] = (4, 8, 16, 24),
     for n in sizes:
         machine = generate_machine(WorkloadSpec(n_live=n))
         for gen_cls in ALL_GENERATORS:
-            size = compile_machine(machine, gen_cls.name,
-                                   OptLevel.OS).total_size
+            size = compile_machine(machine, gen_cls.name, OptLevel.OS,
+                                   target=target).total_size
             curves[gen_cls.name].append(
                 SweepPoint(n, f"{n} states", size, size))
     return curves
 
 
-def pass_ablation(pattern: str = "nested-switch") -> List[SweepPoint]:
+def pass_ablation(pattern: str = "nested-switch",
+                  target: Union[TargetDescription, str, None] = None,
+                  ) -> List[SweepPoint]:
     """Size after enabling the pipeline one pass at a time (cumulative)."""
     machine = hierarchical_machine_with_shadowed_composite()
-    baseline = compile_machine(machine, pattern, OptLevel.OS).total_size
+    baseline = compile_machine(machine, pattern, OptLevel.OS,
+                               target=target).total_size
     points = [SweepPoint(0, "no model optimization", baseline, baseline)]
     for i in range(1, len(DEFAULT_PIPELINE) + 1):
         selection = list(DEFAULT_PIPELINE[:i])
         optimized = optimize(machine, selection=selection).optimized
-        size = compile_machine(optimized, pattern, OptLevel.OS).total_size
+        size = compile_machine(optimized, pattern, OptLevel.OS,
+                               target=target).total_size
         points.append(SweepPoint(i, "+" + DEFAULT_PIPELINE[i - 1],
                                  baseline, size))
     return points
 
 
-def opt_level_sweep(pattern: str = "nested-switch") -> List[SweepPoint]:
+def opt_level_sweep(pattern: str = "nested-switch",
+                    target: Union[TargetDescription, str, None] = None,
+                    ) -> List[SweepPoint]:
     """Compiler-only optimization (non-optimized model) per -O level."""
     machine = hierarchical_machine_with_shadowed_composite()
-    o0 = compile_machine(machine, pattern, OptLevel.O0).total_size
+    o0 = compile_machine(machine, pattern, OptLevel.O0,
+                         target=target).total_size
     points = []
     for i, level in enumerate(OptLevel):
-        size = compile_machine(machine, pattern, level).total_size
+        size = compile_machine(machine, pattern, level,
+                               target=target).total_size
         points.append(SweepPoint(i, level.value, o0, size))
     return points
 
 
-def main() -> str:
+@dataclass(frozen=True)
+class TargetSweepRow:
+    """One (pattern, target) code-size measurement."""
+
+    pattern: str
+    target: str
+    text_size: int
+    rodata_size: int
+    total_size: int
+
+
+def target_sweep(level: OptLevel = OptLevel.OS,
+                 targets: Optional[Sequence[str]] = None,
+                 ) -> List[TargetSweepRow]:
+    """Compile every pattern for every registered target — the cross-ISA
+    comparison the pluggable backend enables (paper's "size of the
+    generated assembly code", per target)."""
+    from ..codegen import ALL_PATTERNS
+    machine = hierarchical_machine_with_shadowed_composite()
+    rows: List[TargetSweepRow] = []
+    for target_name in (targets or available_targets()):
+        for gen_cls in ALL_PATTERNS:
+            module = compile_machine(machine, gen_cls.name, level,
+                                     target=target_name).module
+            rows.append(TargetSweepRow(
+                pattern=gen_cls.name, target=target_name,
+                text_size=module.text_size, rodata_size=module.rodata_size,
+                total_size=module.total_size))
+    return rows
+
+
+def main(target: Union[TargetDescription, str, None] = None) -> str:
+    tgt = resolve_target(target)
+    suffix = f" [{tgt.name}]"
     parts: List[str] = []
     parts.append(render_table(
-        "gain vs removed states (nested-switch, -Os)",
+        "gain vs removed states (nested-switch, -Os)" + suffix,
         ["dead states", "before (B)", "after (B)", "gain"],
         [[p.x, p.size_before, p.size_after, f"{p.gain_percent:.2f}%"]
-         for p in unreachable_sweep()]))
+         for p in unreachable_sweep(target=tgt)]))
     parts.append(render_table(
-        "gain vs shadowed composite width (nested-switch, -Os)",
+        "gain vs shadowed composite width (nested-switch, -Os)" + suffix,
         ["substates", "before (B)", "after (B)", "gain"],
         [[p.x, p.size_before, p.size_after, f"{p.gain_percent:.2f}%"]
-         for p in composite_sweep()]))
-    curves = pattern_scaling_sweep()
+         for p in composite_sweep(target=tgt)]))
+    curves = pattern_scaling_sweep(target=tgt)
     sizes = sorted({p.x for pts in curves.values() for p in pts})
     parts.append(render_table(
-        "absolute size vs live machine size (-Os)",
+        "absolute size vs live machine size (-Os)" + suffix,
         ["live states"] + list(curves),
         [[n] + [next(p.size_after for p in curves[name] if p.x == n)
                 for name in curves] for n in sizes]))
     parts.append(render_table(
-        "model-pass ablation (hierarchical model, nested-switch, -Os)",
+        "model-pass ablation (hierarchical model, nested-switch, -Os)"
+        + suffix,
         ["step", "pipeline prefix", "size (B)", "gain vs baseline"],
         [[p.x, p.label, p.size_after, f"{p.gain_percent:.2f}%"]
-         for p in pass_ablation()]))
+         for p in pass_ablation(target=tgt)]))
     parts.append(render_table(
-        "compiler-only -O levels (non-optimized hierarchical model)",
+        "compiler-only -O levels (non-optimized hierarchical model)"
+        + suffix,
         ["level", "size (B)", "vs -O0"],
         [[p.label, p.size_after, f"{p.gain_percent:.2f}%"]
-         for p in opt_level_sweep()]))
+         for p in opt_level_sweep(target=tgt)]))
+    parts.append(render_table(
+        "cross-target code size (hierarchical model, -Os, all patterns)",
+        ["pattern", "target", "text (B)", "rodata (B)", "total (B)"],
+        [[r.pattern, r.target, r.text_size, r.rodata_size, r.total_size]
+         for r in target_sweep()]))
     return "\n\n".join(parts)
 
 

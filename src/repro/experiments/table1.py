@@ -25,10 +25,11 @@ Run as ``python -m repro.experiments.table1``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from ..codegen import ALL_GENERATORS
 from ..compiler import OptLevel
+from ..compiler.target import TargetDescription, resolve_target
 from ..pipeline import optimize_and_compare
 from ..uml.statemachine import StateMachine
 from .models import hierarchical_machine_with_shadowed_composite
@@ -55,13 +56,16 @@ class Table1Row:
 
 
 def run_table1(machine: Optional[StateMachine] = None,
-               level: OptLevel = OptLevel.OS) -> List[Table1Row]:
+               level: OptLevel = OptLevel.OS,
+               target: Union[TargetDescription, str, None] = None,
+               ) -> List[Table1Row]:
     """Regenerate Table 1 (defaults to the paper's hierarchical model)."""
     if machine is None:
         machine = hierarchical_machine_with_shadowed_composite()
     rows: List[Table1Row] = []
     for gen_cls in ALL_GENERATORS:
-        cmp = optimize_and_compare(machine, gen_cls.name, level)
+        cmp = optimize_and_compare(machine, gen_cls.name, level,
+                                   target=target)
         rows.append(Table1Row(
             pattern=gen_cls.name,
             display_name=gen_cls.display_name,
@@ -73,11 +77,12 @@ def run_table1(machine: Optional[StateMachine] = None,
     return rows
 
 
-def main() -> str:
-    rows = run_table1()
+def main(target: Union[TargetDescription, str, None] = None) -> str:
+    tgt = resolve_target(target)
+    rows = run_table1(target=tgt)
     measured = render_table(
         "Table 1 - optimization gain for three different patterns "
-        "(MGCC -Os, RT32 bytes)",
+        f"(MGCC -Os, {tgt.name.upper()} bytes)",
         ["pattern", "non-optimized (B)", "optimized (B)", "rate",
          "behavior preserved"],
         [[r.display_name, r.size_before, r.size_after,

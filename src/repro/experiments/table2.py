@@ -37,10 +37,11 @@ Run as ``python -m repro.experiments.table2``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Union
 
 from ..codegen import ALL_GENERATORS
 from ..compiler import OptLevel, compile_unit
+from ..compiler.target import TargetDescription
 from ..optim import PassManager
 from ..pipeline import compile_machine
 from ..semantics.variation import SemanticsConfig
@@ -80,7 +81,8 @@ class Table2Row:
     evidence: Dict[str, str]
 
 
-def _evidence() -> Dict[str, str]:
+def _evidence(target: Union[TargetDescription, str, None] = None
+              ) -> Dict[str, str]:
     """Run the executable checks that back the derivable entries."""
     machine = hierarchical_machine_with_shadowed_composite()
     checks: Dict[str, str] = {}
@@ -91,7 +93,8 @@ def _evidence() -> Dict[str, str]:
     sizes = {}
     for gen_cls in ALL_GENERATORS:
         sizes[gen_cls.name] = compile_unit(
-            gen_cls().generate(optimized), OptLevel.OS).total_size
+            gen_cls().generate(optimized), OptLevel.OS,
+            target=target).total_size
     checks["independent from implementation"] = (
         "one optimized model feeds all three patterns "
         f"(sizes {sizes}); no per-pattern rework needed")
@@ -115,8 +118,10 @@ def _evidence() -> Dict[str, str]:
     return checks
 
 
-def run_table2(with_evidence: bool = True) -> List[Table2Row]:
-    evidence = _evidence() if with_evidence else {}
+def run_table2(with_evidence: bool = True,
+               target: Union[TargetDescription, str, None] = None,
+               ) -> List[Table2Row]:
+    evidence = _evidence(target=target) if with_evidence else {}
     rows = []
     for alternative, values in PAPER_TABLE2.items():
         row_evidence = (evidence if alternative == "before code generation"
@@ -125,8 +130,8 @@ def run_table2(with_evidence: bool = True) -> List[Table2Row]:
     return rows
 
 
-def main() -> str:
-    rows = run_table2()
+def main(target: Union[TargetDescription, str, None] = None) -> str:
+    rows = run_table2(target=target)
     table = render_table(
         "Table 2 - classification of the three alternatives",
         ["alternative"] + CRITERIA,

@@ -9,10 +9,12 @@ compiler optimizations are reused as they are.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from .codegen import CodeGenerator, generator_by_name
 from .compiler import CompileResult, OptLevel, compile_unit
+from .compiler.target import (DEFAULT_TARGET_NAME, TargetDescription,
+                              resolve_target)
 from .optim import OptimizationReport, check_equivalence, optimize
 from .optim.equivalence import EquivalenceReport
 from .semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
@@ -36,9 +38,16 @@ class PipelineResult:
     def total_size(self) -> int:
         return self.compile_result.total_size
 
+    @property
+    def target_name(self) -> str:
+        target = self.compile_result.target
+        return target.name if target is not None \
+            else resolve_target(None).name
+
     def summary(self) -> str:
         lines = [f"{self.machine.name} [{self.pattern}, "
-                 f"{self.opt_level.value}] -> {self.total_size} bytes"]
+                 f"{self.opt_level.value}, {self.target_name}] -> "
+                 f"{self.total_size} bytes"]
         if self.model_report is not None and self.model_report.changed:
             lines.append(self.model_report.summary())
         return "\n".join(lines)
@@ -46,11 +55,15 @@ class PipelineResult:
 
 def compile_machine(machine: StateMachine, pattern: str = "nested-switch",
                     level: OptLevel = OptLevel.OS,
-                    capture_dumps: bool = False) -> CompileResult:
-    """Generate code for *machine* with *pattern* and compile it."""
+                    capture_dumps: bool = False,
+                    target: Union[TargetDescription, str, None] = None,
+                    ) -> CompileResult:
+    """Generate code for *machine* with *pattern* and compile it for
+    *target* (a registered name, a description, or None = default)."""
     generator = generator_by_name(pattern)
     unit = generator.generate(machine)
-    return compile_unit(unit, level, capture_dumps=capture_dumps)
+    return compile_unit(unit, level, capture_dumps=capture_dumps,
+                        target=target)
 
 
 def run_pipeline(machine: StateMachine, pattern: str = "nested-switch",
@@ -58,6 +71,7 @@ def run_pipeline(machine: StateMachine, pattern: str = "nested-switch",
                  model_optimizations: Optional[Sequence[str]] = None,
                  optimize_model: bool = True,
                  semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS,
+                 target: Union[TargetDescription, str, None] = None,
                  ) -> PipelineResult:
     """The full two-step pipeline.
 
@@ -65,12 +79,13 @@ def run_pipeline(machine: StateMachine, pattern: str = "nested-switch",
     optimizations only); the default runs the model-level pipeline first.
     """
     report: Optional[OptimizationReport] = None
-    target = machine
+    source = machine
     if optimize_model:
         report = optimize(machine, selection=model_optimizations,
                           semantics=semantics)
-        target = report.optimized
-    compile_result = compile_machine(target, pattern=pattern, level=level)
+        source = report.optimized
+    compile_result = compile_machine(source, pattern=pattern, level=level,
+                                     target=target)
     return PipelineResult(machine=machine, pattern=pattern, opt_level=level,
                           model_report=report,
                           compile_result=compile_result)
@@ -86,6 +101,7 @@ class CompareResult:
     size_after: int
     model_report: OptimizationReport
     equivalence: EquivalenceReport
+    target_name: str = DEFAULT_TARGET_NAME
 
     @property
     def gain_bytes(self) -> int:
@@ -98,7 +114,7 @@ class CompareResult:
         return 100.0 * self.gain_bytes / self.size_before
 
     def summary(self) -> str:
-        return (f"{self.machine_name} [{self.pattern}]: "
+        return (f"{self.machine_name} [{self.pattern}, {self.target_name}]: "
                 f"{self.size_before} -> {self.size_after} bytes "
                 f"({self.gain_percent:.2f} % smaller); "
                 f"{self.equivalence.summary()}")
@@ -109,17 +125,22 @@ def optimize_and_compare(machine: StateMachine,
                          level: OptLevel = OptLevel.OS,
                          model_optimizations: Optional[Sequence[str]] = None,
                          check_behavior: bool = True,
+                         target: Union[TargetDescription, str, None] = None,
                          ) -> CompareResult:
     """The paper's experiment, end to end: compile the model as-is and
     after model-level optimization, compare assembly sizes, and verify
     the optimization was behaviour-preserving."""
+    tgt = resolve_target(target)
     report = optimize(machine, selection=model_optimizations)
-    size_before = compile_machine(machine, pattern, level).total_size
-    size_after = compile_machine(report.optimized, pattern, level).total_size
+    size_before = compile_machine(machine, pattern, level,
+                                  target=tgt).total_size
+    size_after = compile_machine(report.optimized, pattern, level,
+                                 target=tgt).total_size
     if check_behavior:
         equivalence = check_equivalence(machine, report.optimized)
     else:
         equivalence = EquivalenceReport()
     return CompareResult(machine_name=machine.name, pattern=pattern,
                          size_before=size_before, size_after=size_after,
-                         model_report=report, equivalence=equivalence)
+                         model_report=report, equivalence=equivalence,
+                         target_name=tgt.name)

@@ -303,18 +303,21 @@ def const_fold(expr: Expr) -> Expr:
                 return _lit(eval_expr(folded, {}))
             except EvalError:
                 return folded
-        # Boolean identities with one constant side.
+        # Boolean identities with one constant side.  Dropping the
+        # constant operand may only keep the other side when that side is
+        # itself boolean-valued: `&&`/`||` normalize to true/false, so
+        # `true && x` is 0-or-1 while bare `x` is an arbitrary int.
         if expr.op == "&&":
-            if _is_true(lhs):
+            if _is_true(lhs) and _is_boolean_valued(rhs):
                 return rhs
-            if _is_true(rhs):
+            if _is_true(rhs) and _is_boolean_valued(lhs):
                 return lhs
             if _is_false(lhs) or _is_false(rhs):
                 return BoolLit(False)
         if expr.op == "||":
-            if _is_false(lhs):
+            if _is_false(lhs) and _is_boolean_valued(rhs):
                 return rhs
-            if _is_false(rhs):
+            if _is_false(rhs) and _is_boolean_valued(lhs):
                 return lhs
             if _is_true(lhs) or _is_true(rhs):
                 return BoolLit(True)
@@ -336,6 +339,20 @@ def _is_true(expr: Expr) -> bool:
 
 def _is_false(expr: Expr) -> bool:
     return isinstance(expr, BoolLit) and expr.value is False
+
+
+_BOOLEAN_OPS = {"&&", "||", "<", "<=", ">", ">=", "==", "!="}
+
+
+def _is_boolean_valued(expr: Expr) -> bool:
+    """Does *expr* always evaluate to a normalized boolean (0 or 1)?"""
+    if isinstance(expr, BoolLit):
+        return True
+    if isinstance(expr, UnaryOp):
+        return expr.op == "!"
+    if isinstance(expr, BinOp):
+        return expr.op in _BOOLEAN_OPS
+    return False
 
 
 # ---------------------------------------------------------------------------

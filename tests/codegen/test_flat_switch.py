@@ -1,0 +1,84 @@
+"""Tests for the flattened-switch pattern (the fourth generator)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.codegen import (ALL_GENERATORS, ALL_PATTERNS,
+                           FlatSwitchGenerator, generator_by_name)
+from repro.codegen.harness import (GeneratedMachine,
+                                   observable_calls_of_model)
+from repro.compiler import OptLevel, compile_unit
+from repro.experiments.models import (
+    flat_machine_with_unreachable_state,
+    hierarchical_machine_with_shadowed_composite)
+
+MACHINES = [flat_machine_with_unreachable_state,
+            hierarchical_machine_with_shadowed_composite]
+
+
+def scenarios_for(machine, depth=2, n_random=8, length=8, seed=3):
+    alphabet = sorted(e.name for e in machine.events.values())
+    out = [list(t) for t in itertools.product(alphabet, repeat=depth)]
+    rng = random.Random(seed)
+    out += [[rng.choice(alphabet) for _ in range(length)]
+            for _ in range(n_random)]
+    return out
+
+
+class TestRegistration:
+    def test_fourth_pattern_is_registered(self):
+        assert isinstance(generator_by_name("flat-switch"),
+                          FlatSwitchGenerator)
+        assert FlatSwitchGenerator in ALL_PATTERNS
+        assert len(ALL_PATTERNS) == len(ALL_GENERATORS) + 1
+
+    def test_paper_generators_unchanged(self):
+        """Table 1 reproduces the paper's three rows; flat-switch must not
+        sneak into ALL_GENERATORS."""
+        assert FlatSwitchGenerator not in ALL_GENERATORS
+        assert len(ALL_GENERATORS) == 3
+
+
+@pytest.mark.parametrize("make_machine", MACHINES,
+                         ids=[m.__name__ for m in MACHINES])
+class TestDifferentialBehavior:
+    def test_matches_model_interpreter(self, make_machine):
+        machine = make_machine()
+        for events in scenarios_for(machine):
+            gm = GeneratedMachine(machine, FlatSwitchGenerator())
+            gm.send_all(events)
+            ref = observable_calls_of_model(machine, events)
+            assert gm.calls == ref, (
+                f"flat-switch diverges on {events}:\n"
+                f"  generated: {gm.calls}\n  model:     {ref}")
+
+    def test_matches_model_after_optimizing_compile(self, make_machine):
+        machine = make_machine()
+        events = scenarios_for(machine, depth=2, n_random=2)[:6]
+        for scenario in events:
+            gm = GeneratedMachine(machine, FlatSwitchGenerator(),
+                                  level=OptLevel.OS)
+            gm.send_all(scenario)
+            assert gm.calls == observable_calls_of_model(machine, scenario)
+
+
+class TestStructure:
+    def test_single_class_no_submachines(self):
+        machine = hierarchical_machine_with_shadowed_composite()
+        unit = FlatSwitchGenerator().generate(machine)
+        assert len(unit.classes) == 1  # flattening removed the hierarchy
+
+    def test_no_table_globals(self):
+        """Unlike STT there is no rows/actions rodata — dispatch is code."""
+        machine = hierarchical_machine_with_shadowed_composite()
+        unit = FlatSwitchGenerator().generate(machine)
+        names = {g.name for g in unit.globals}
+        assert not any("rows" in n or "actions" in n for n in names)
+
+    def test_compiles_to_positive_size(self):
+        machine = hierarchical_machine_with_shadowed_composite()
+        unit = FlatSwitchGenerator().generate(machine)
+        result = compile_unit(unit, OptLevel.OS)
+        assert result.total_size > 0

@@ -1,0 +1,187 @@
+"""Tests for the pluggable target subsystem: registry, descriptions,
+and cross-target compilation."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.compiler import OptLevel, compile_unit
+from repro.compiler.rtl.ir import RInstr, RTLFunction
+from repro.compiler.rtl.regalloc import allocate_registers
+from repro.compiler.target import (RT16, RT32, TargetDescription,
+                                   TargetError, UnknownTargetError,
+                                   available_targets, get_target,
+                                   register_target, resolve_target)
+from repro.experiments.models import \
+    hierarchical_machine_with_shadowed_composite
+from repro.pipeline import compile_machine
+
+ALL_PATTERN_NAMES = ["state-table", "nested-switch", "state-pattern",
+                     "flat-switch"]
+
+
+def _load_cruise_control():
+    path = pathlib.Path(__file__).resolve().parents[2] / "examples" / \
+        "cruise_control.py"
+    spec = importlib.util.spec_from_file_location("cruise_control", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.build_cruise_control()
+
+
+class TestRegistry:
+    def test_builtin_targets_registered(self):
+        assert {"rt32", "rt16"} <= set(available_targets())
+
+    def test_get_target_returns_descriptions(self):
+        assert get_target("rt32") is RT32
+        assert get_target("rt16") is RT16
+
+    def test_unknown_target_raises(self):
+        with pytest.raises(UnknownTargetError) as exc:
+            get_target("frobnicate-64")
+        assert "rt32" in str(exc.value)
+
+    def test_unknown_target_is_a_keyerror(self):
+        with pytest.raises(KeyError):
+            get_target("no-such-isa")
+
+    def test_resolve_target_accepts_all_spellings(self):
+        assert resolve_target(None) is RT32          # registry default
+        assert resolve_target("rt16") is RT16
+        assert resolve_target(RT16) is RT16
+
+    def test_reregistering_same_instance_is_idempotent(self):
+        assert register_target(RT32) is RT32
+
+    def test_registering_conflicting_name_raises(self):
+        clone = TargetDescription(
+            name="rt32", description="imposter", word_size=4,
+            allocatable_regs=("s0",), scratch_regs=("t0", "t1"),
+            insn_sizes={"label": 0, "ret": 4},
+            compare_chain_per_case=8, jump_table_overhead=16)
+        with pytest.raises(ValueError):
+            register_target(clone)
+
+
+class TestDescriptions:
+    @pytest.mark.parametrize("target", [RT32, RT16], ids=["rt32", "rt16"])
+    def test_unknown_mnemonic_raises_keyerror(self, target):
+        with pytest.raises(KeyError):
+            target.insn_size("frobnicate")
+
+    @pytest.mark.parametrize("target", [RT32, RT16], ids=["rt32", "rt16"])
+    def test_label_free_other_sizes_positive(self, target):
+        for op, size in target.insn_sizes.items():
+            assert size == 0 if op == "label" else size > 0, op
+
+    def test_rt16_immediates_are_narrow(self):
+        assert RT16.fits_imm16(127) and RT16.fits_imm16(-128)
+        assert not RT16.fits_imm16(128) and not RT16.fits_imm16(-129)
+        assert RT32.fits_imm16(32767) and not RT32.fits_imm16(32768)
+
+    def test_rt16_register_file_is_smaller(self):
+        assert len(RT16.allocatable_regs) < len(RT32.allocatable_regs)
+
+    def test_validation_rejects_missing_label(self):
+        with pytest.raises(TargetError):
+            TargetDescription(
+                name="bad", description="", word_size=4,
+                allocatable_regs=("s0",), scratch_regs=("t0", "t1"),
+                insn_sizes={"ret": 4},
+                compare_chain_per_case=8, jump_table_overhead=16)
+
+    def test_validation_rejects_nonpositive_size(self):
+        with pytest.raises(TargetError):
+            TargetDescription(
+                name="bad", description="", word_size=4,
+                allocatable_regs=("s0",), scratch_regs=("t0", "t1"),
+                insn_sizes={"label": 0, "ret": 0},
+                compare_chain_per_case=8, jump_table_overhead=16)
+
+    def test_validation_rejects_scratch_alloc_overlap(self):
+        with pytest.raises(TargetError):
+            TargetDescription(
+                name="bad", description="", word_size=4,
+                allocatable_regs=("s0", "t0"), scratch_regs=("t0", "t1"),
+                insn_sizes={"label": 0, "ret": 4},
+                compare_chain_per_case=8, jump_table_overhead=16)
+
+
+class TestCrossTargetCompilation:
+    @pytest.fixture(scope="class")
+    def machine(self):
+        return hierarchical_machine_with_shadowed_composite()
+
+    @pytest.mark.parametrize("pattern", ALL_PATTERN_NAMES)
+    @pytest.mark.parametrize("target", ["rt32", "rt16"])
+    def test_positive_total_size_everywhere(self, machine, pattern, target):
+        result = compile_machine(machine, pattern, OptLevel.OS,
+                                 target=target)
+        assert result.total_size > 0
+        assert result.target.name == target
+
+    def test_targets_produce_different_sizes(self, machine):
+        rt32 = compile_machine(machine, "nested-switch", OptLevel.OS,
+                               target="rt32").total_size
+        rt16 = compile_machine(machine, "nested-switch", OptLevel.OS,
+                               target="rt16").total_size
+        assert rt32 != rt16
+
+    def test_rt16_text_smaller_on_cruise_control(self):
+        machine = _load_cruise_control()
+        rt32 = compile_machine(machine, "nested-switch", OptLevel.OS,
+                               target="rt32").module
+        rt16 = compile_machine(machine, "nested-switch", OptLevel.OS,
+                               target="rt16").module
+        assert rt16.text_size < rt32.text_size
+
+    @pytest.mark.parametrize("target_name", ["rt32", "rt16"])
+    def test_every_emitted_mnemonic_is_sized(self, machine, target_name):
+        target = get_target(target_name)
+        module = compile_machine(machine, "nested-switch", OptLevel.O0,
+                                 target=target).module
+        for fn in module.functions:
+            assert fn.target is target
+            for instr in fn.instrs:
+                assert target.has_insn(instr.op), instr.op
+
+    def test_rt16_switch_lowering_prefers_chains(self, machine):
+        """The wide table dispatch makes -Os chain switches on rt16 that
+        rt32 tables — a per-target lowering decision, not just scaling."""
+        rt32 = compile_machine(machine, "nested-switch", OptLevel.OS,
+                               target="rt32").module
+        rt16 = compile_machine(machine, "nested-switch", OptLevel.OS,
+                               target="rt16").module
+
+        def jt_count(module):
+            return sum(1 for fn in module.functions
+                       for i in fn.instrs if i.op == "jt")
+
+        assert jt_count(rt16) <= jt_count(rt32)
+
+    def test_rt16_register_pressure_spills_earlier(self):
+        """Nine simultaneously-live values fit rt32's ten registers but
+        exceed rt16's six."""
+        def build():
+            rtl = RTLFunction("f")
+            n = len(RT16.allocatable_regs) + 3
+            for i in range(n):
+                rtl.emit(RInstr("li", defs=(f"v{i}",), imm=i))
+            for i in range(n):
+                rtl.emit(RInstr("argmv", uses=(f"v{i}",), imm=0))
+            rtl.emit(RInstr("ret"))
+            return rtl
+
+        rt32_fn = allocate_registers(build(), target=RT32)
+        rt16_fn = allocate_registers(build(), target=RT16)
+        assert rt32_fn.frame_slots == 0
+        assert rt16_fn.frame_slots >= 3
+
+
+class TestExperimentsCLI:
+    def test_unknown_target_exits_nonzero(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["--target", "no-such-isa"]) == 2
+        assert "no-such-isa" in capsys.readouterr().err

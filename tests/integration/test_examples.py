@@ -1,14 +1,21 @@
 """Smoke-run every example script (they are part of the public surface)."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    pathlib.Path(__file__).resolve().parents[2].joinpath("examples")
-    .glob("*.py"))
+_REPO = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES = sorted(_REPO.joinpath("examples").glob("*.py"))
+
+#: Examples import `repro` like an installed package; run them with src/
+#: on PYTHONPATH so the suite works without `pip install -e .`.
+_ENV = dict(os.environ)
+_ENV["PYTHONPATH"] = os.pathsep.join(
+    [str(_REPO / "src")] + ([_ENV["PYTHONPATH"]]
+                            if _ENV.get("PYTHONPATH") else []))
 
 
 def test_examples_exist():
@@ -19,7 +26,7 @@ def test_examples_exist():
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
 def test_example_runs_clean(script):
-    proc = subprocess.run([sys.executable, str(script)],
+    proc = subprocess.run([sys.executable, str(script)], env=_ENV,
                           capture_output=True, text=True, timeout=600)
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert proc.stdout.strip(), "example produced no output"
@@ -27,7 +34,7 @@ def test_example_runs_clean(script):
 
 def test_quickstart_shows_the_paper_story():
     script = next(p for p in EXAMPLES if p.stem == "quickstart")
-    proc = subprocess.run([sys.executable, str(script)],
+    proc = subprocess.run([sys.executable, str(script)], env=_ENV,
                           capture_output=True, text=True, timeout=600)
     out = proc.stdout
     assert "dead state Maintenance" in out
