@@ -1,13 +1,16 @@
 """Benchmark + shape checks for Figure 1 (both rows).
 
 Regenerates the paper's Figure 1 size comparison and times the full
-pipeline (model optimization -> code generation -> -Os compilation).
+pipeline (model optimization -> code generation -> -Os compilation)
+through the experiment engine — each timed call uses a fresh
+(cold-cache) engine so the numbers stay honest compile timings.
 Run with ``pytest benchmarks/ --benchmark-only``; the reproduced rows are
 printed so the output can be compared to the paper side by side.
 """
 
 import pytest
 
+from repro.engine import ExperimentEngine
 from repro.experiments.figure1 import (PAPER_FLAT_GAIN,
                                        PAPER_HIER_GAIN_MIN, main,
                                        run_figure1)
@@ -34,7 +37,7 @@ def test_figure1_flat(benchmark, figure1_rows):
     assert row.behavior_preserved
     benchmark(lambda: optimize_and_compare(
         flat_machine_with_unreachable_state(), "nested-switch",
-        check_behavior=False))
+        check_behavior=False, engine=ExperimentEngine()))
 
 
 def test_figure1_hierarchical(benchmark, figure1_rows):
@@ -45,7 +48,7 @@ def test_figure1_hierarchical(benchmark, figure1_rows):
     assert row.behavior_preserved
     benchmark(lambda: optimize_and_compare(
         hierarchical_machine_with_shadowed_composite(), "nested-switch",
-        check_behavior=False))
+        check_behavior=False, engine=ExperimentEngine()))
 
 
 def test_figure1_hierarchical_dwarfs_flat(figure1_rows):

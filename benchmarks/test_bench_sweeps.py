@@ -12,6 +12,7 @@
 
 import pytest
 
+from repro.engine import ExperimentEngine
 from repro.experiments.sweeps import (composite_sweep, main, opt_level_sweep,
                                       pass_ablation, pattern_scaling_sweep,
                                       unreachable_sweep)
@@ -24,8 +25,17 @@ def sweep_report():
     return text
 
 
+def test_bench_sweeps_parallel_main(benchmark):
+    """Full sweep suite on a 4-worker engine; output must match serial."""
+    serial = main(engine=ExperimentEngine(jobs=1))
+    parallel = benchmark.pedantic(
+        lambda: main(engine=ExperimentEngine(jobs=4)),
+        rounds=5, iterations=1)
+    assert parallel == serial
+
+
 def test_gain_vs_removed_states(benchmark, sweep_report):
-    points = benchmark.pedantic(unreachable_sweep, rounds=1, iterations=1)
+    points = benchmark.pedantic(unreachable_sweep, rounds=5, iterations=1)
     gains = [p.gain_percent for p in points]
     # Monotone non-decreasing gain with more dead states; zero when clean.
     assert gains[0] == 0.0
@@ -36,14 +46,14 @@ def test_gain_vs_removed_states(benchmark, sweep_report):
 
 
 def test_gain_vs_composite_width(benchmark, sweep_report):
-    points = benchmark.pedantic(composite_sweep, rounds=1, iterations=1)
+    points = benchmark.pedantic(composite_sweep, rounds=5, iterations=1)
     gains = [p.gain_percent for p in points]
     assert all(a <= b + 1e-9 for a, b in zip(gains, gains[1:]))
     assert gains[-1] > 40.0
 
 
 def test_pattern_scaling(benchmark, sweep_report):
-    curves = benchmark.pedantic(pattern_scaling_sweep, rounds=1,
+    curves = benchmark.pedantic(pattern_scaling_sweep, rounds=5,
                                 iterations=1, kwargs={"sizes": (4, 12, 20)})
     # Every pattern grows with machine size.
     for name, points in curves.items():

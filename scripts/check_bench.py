@@ -3,12 +3,33 @@
 
 Compares a fresh ``pytest-benchmark`` JSON run against the most recent
 committed baseline (``BENCH_*.json`` in the repository root) and fails
-when any shared benchmark's mean time regressed by more than the
-threshold (default 25 %).
+when any shared benchmark regressed by more than the threshold
+(default 25 %).  The *minimum* round time is compared (falling back to
+median, then mean, when a file lacks it): scheduler/GC interference
+only ever adds time, so the per-run minimum is by far the most stable
+statistic — measured locally it varies a few percent between runs
+where medians and means swing past the threshold on their own.
 
-Inert by design until the first baseline lands: with no ``BENCH_*.json``
-checked in, the script reports that and exits 0, so CI can run it
-unconditionally from day one.
+The baseline may have been captured on different hardware than the
+fresh run (a committed baseline vs a CI runner), so per-benchmark
+ratios are normalized by a suite-wide **drift anchor** before the
+threshold applies.  The anchor is the *low quartile* of the ratios:
+hardware drift slows every benchmark, so the least-slowed quartile
+tracks it, while a code regression — even a broad one in the compiler
+core — spares the non-compile benchmarks (interpreter, generators,
+cache hits) that then hold the anchor near 1 and let the slowed
+majority fail.  A benchmark regresses when its drift-normalized ratio
+exceeds ``1 + threshold``.
+
+Timing flaps are whole-process-correlated (load/frequency windows hit
+a stretch of the suite at once), so before declaring a regression the
+suite is re-run (``--retries``, default 1) and fresh times are merged
+by per-benchmark min — a genuine code regression survives every
+re-run; a noisy window does not.
+
+With no ``BENCH_*.json`` checked in the script reports that and exits 0,
+so CI can run it unconditionally; ``BENCH_baseline.json`` is committed,
+which makes the guard active on every PR.
 
 Usage:
     python scripts/check_bench.py [--fresh PATH] [--baseline PATH]
@@ -31,15 +52,17 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 
 
 def load_means(path: pathlib.Path) -> dict:
-    """benchmark fullname -> mean seconds, from a pytest-benchmark JSON."""
+    """benchmark fullname -> min (or median/mean) round seconds, from a
+    pytest-benchmark JSON."""
     with open(path) as fh:
         data = json.load(fh)
     means = {}
     for bench in data.get("benchmarks", []):
         name = bench.get("fullname") or bench.get("name")
-        mean = bench.get("stats", {}).get("mean")
-        if name and mean is not None:
-            means[name] = mean
+        stats = bench.get("stats", {})
+        value = stats.get("min", stats.get("median", stats.get("mean")))
+        if name and value is not None:
+            means[name] = value
     return means
 
 
@@ -54,12 +77,45 @@ def find_baseline(exclude: pathlib.Path | None) -> pathlib.Path | None:
 def run_fresh() -> pathlib.Path:
     out = pathlib.Path(tempfile.mkdtemp()) / "bench_fresh.json"
     cmd = [sys.executable, "-m", "pytest", "benchmarks", "-q",
-           "--benchmark-json", str(out),
-           "--benchmark-warmup=off", "--benchmark-min-rounds=1"]
+           "--benchmark-json", str(out), "--benchmark-warmup=off",
+           "--benchmark-disable-gc", "--benchmark-min-rounds=10"]
     proc = subprocess.run(cmd, cwd=REPO_ROOT)
     if proc.returncode != 0:
         sys.exit(f"benchmark run failed (exit {proc.returncode})")
     return out
+
+
+def compare(baseline: dict, fresh: dict, shared: list,
+            threshold: float) -> list:
+    """Print the per-benchmark comparison; return the regressed names."""
+    ratios = {name: (fresh[name] / baseline[name] if baseline[name]
+                     else 1.0) for name in shared}
+    # Drift anchor: the low quartile of the ratios. Hardware drift moves
+    # every benchmark, so the least-slowed quartile tracks it; a code
+    # regression spares the unrelated benchmarks, which hold the anchor
+    # down and expose the slowed ones. Only *slowdown* drift (> 1) is
+    # normalized away: on uniformly faster hardware raw ratios are
+    # already < 1 and dividing by a < 1 anchor would manufacture
+    # regressions out of benchmarks that merely failed to speed up as
+    # much as the rest.
+    ordered = sorted(ratios.values())
+    drift = max(ordered[len(ordered) // 4], 1.0)
+    print(f"check_bench: suite-wide slowdown drift "
+          f"{(drift - 1.0) * 100.0:+.1f}% (low-quartile ratio clamped "
+          f"at 1.0; hardware/load, normalized away)")
+
+    failures = []
+    for name in shared:
+        ratio = ratios[name]
+        normalized = ratio / drift
+        status = "OK"
+        if normalized > 1.0 + threshold:
+            status = "REGRESSION"
+            failures.append(name)
+        print(f"  {status:10s} {name}: {baseline[name]:.6f}s -> "
+              f"{fresh[name]:.6f}s ({(ratio - 1.0) * 100.0:+.1f}% raw, "
+              f"{(normalized - 1.0) * 100.0:+.1f}% vs drift)")
+    return failures
 
 
 def main() -> int:
@@ -71,8 +127,12 @@ def main() -> int:
                         help="baseline JSON (default: newest BENCH_*.json "
                              "in the repo root)")
     parser.add_argument("--threshold", type=float, default=0.25,
-                        help="allowed relative mean-time regression "
+                        help="allowed relative min-round-time regression "
                              "(default: %(default)s)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="fresh re-runs merged by per-benchmark min "
+                             "before declaring a regression (default: "
+                             "%(default)s; 0 disables)")
     args = parser.parse_args()
 
     if args.fresh is not None and not args.fresh.is_file():
@@ -92,15 +152,20 @@ def main() -> int:
               f"{baseline_path.name} and {fresh_path.name} (inert pass).")
         return 0
 
-    failures = []
-    for name in shared:
-        ratio = fresh[name] / baseline[name] if baseline[name] else 1.0
-        status = "OK"
-        if ratio > 1.0 + args.threshold:
-            status = "REGRESSION"
-            failures.append(name)
-        print(f"  {status:10s} {name}: {baseline[name]:.6f}s -> "
-              f"{fresh[name]:.6f}s ({(ratio - 1.0) * 100.0:+.1f}%)")
+    failures = compare(baseline, fresh, shared, args.threshold)
+    for attempt in range(args.retries if failures else 0):
+        # Timing flaps are whole-process-correlated (load/frequency
+        # windows), so a re-run merged by per-benchmark min is the
+        # reliable tiebreak: a *code* regression survives every re-run.
+        print(f"check_bench: {len(failures)} suspect benchmark(s); "
+              f"re-running the suite to rule out a noisy window "
+              f"(retry {attempt + 1}/{args.retries})")
+        rerun = load_means(run_fresh())
+        fresh = {name: min(fresh[name], rerun.get(name, fresh[name]))
+                 for name in fresh}
+        failures = compare(baseline, fresh, shared, args.threshold)
+        if not failures:
+            break
 
     if failures:
         print(f"check_bench: {len(failures)}/{len(shared)} benchmarks "

@@ -1,0 +1,31 @@
+"""Cached, parallel experiment engine.
+
+The pattern x target x level grid every experiment walks is a
+configuration-selection problem over shared work: most cells repeat the
+same model optimization or baseline compile.  This package provides the
+machinery to exploit that:
+
+* :mod:`~repro.engine.fingerprint` — stable content fingerprints of jobs;
+* :mod:`~repro.engine.cache` — a thread-safe content-addressed result
+  cache with hit/miss statistics and in-flight deduplication;
+* :mod:`~repro.engine.jobs` — job value objects and the deduplicating
+  batch planner;
+* :mod:`~repro.engine.core` — :class:`ExperimentEngine`, the cached,
+  batched, optionally parallel call surface the experiments, CLI and
+  benchmarks all go through.
+"""
+
+from .cache import CacheStats, CompileCache
+from .core import ExperimentEngine
+from .fingerprint import (compile_fingerprint, equivalence_fingerprint,
+                          machine_fingerprint, optimize_fingerprint,
+                          semantics_key, target_key)
+from .jobs import BatchPlan, CompareJob, CompileJob, plan_batch
+
+__all__ = [
+    "CacheStats", "CompileCache", "ExperimentEngine",
+    "compile_fingerprint", "equivalence_fingerprint",
+    "machine_fingerprint", "optimize_fingerprint", "semantics_key",
+    "target_key",
+    "BatchPlan", "CompareJob", "CompileJob", "plan_batch",
+]

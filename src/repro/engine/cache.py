@@ -1,0 +1,100 @@
+"""Content-addressed result cache with hit/miss statistics.
+
+The cache stores *futures*, not values: the first caller of a key
+installs a future and computes the value inline; concurrent callers of
+the same key (worker threads of a parallel batch) find the in-flight
+future and wait on it instead of recomputing.  That gives exactly one
+computation per unique key regardless of scheduling, which is what makes
+the engine's hit/miss counts deterministic across ``--jobs`` settings.
+
+A failed computation is evicted before its exception propagates, so a
+transient error does not poison the key.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+__all__ = ["CacheStats", "CompileCache"]
+
+
+@dataclass
+class CacheStats:
+    """Lookup counters of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> str:
+        return (f"cache: {self.hits} hits / {self.misses} misses "
+                f"({self.hit_rate:.1%} hit rate, "
+                f"{self.lookups} lookups)")
+
+
+class CompileCache:
+    """Thread-safe content-addressed cache (key -> computed result)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, Future] = {}
+        self._stats = CacheStats()
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._stats
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._stats = CacheStats()
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for *key*, computing it on first use.
+
+        Exactly one caller runs *compute* per key; concurrent callers
+        block on the in-flight future.  Either way the lookup is counted
+        (miss for the computing caller, hit for everyone else).
+        """
+        with self._lock:
+            future = self._entries.get(key)
+            if future is None:
+                future = Future()
+                self._entries[key] = future
+                self._stats.misses += 1
+                owner = True
+            else:
+                self._stats.hits += 1
+                owner = False
+        if not owner:
+            return future.result()
+        try:
+            value = compute()
+        except BaseException as exc:
+            with self._lock:
+                self._entries.pop(key, None)
+            future.set_exception(exc)
+            raise
+        future.set_result(value)
+        return value

@@ -3,6 +3,13 @@
 ``--target`` selects the backend ISA (any name in the target registry;
 see ``repro.compiler.target``).  Unknown names exit with status 2 and
 the list of registered targets on stderr.
+
+``--jobs N`` runs each experiment's job grid on an N-wide worker pool;
+one engine (and so one compile cache) is shared by every harness, so
+work repeated across tables — baseline compiles, the shared model
+optimization — is computed once.  Table output is byte-identical for
+every ``--jobs`` value.  ``--cache-stats`` prints the engine's hit/miss
+statistics to stderr after the run.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from typing import List, Optional
 
 from ..compiler.target import (UnknownTargetError, available_targets,
                                get_target)
+from ..engine import ExperimentEngine
 from . import figure1, sweeps, table1, table2
 
 
@@ -25,20 +33,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--target", default="rt32", metavar="NAME",
         help="backend ISA to compile for (registered targets: "
              f"{', '.join(available_targets())}; default: %(default)s)")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker-pool width for experiment job grids "
+             "(default: %(default)s = serial; output is byte-identical "
+             "either way; threads are GIL-bound, so expect dedup/cache "
+             "wins rather than linear speedup)")
+    parser.add_argument(
+        "--cache-stats", action="store_true",
+        help="print the shared engine's cache statistics to stderr")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
     try:
         target = get_target(args.target)
     except UnknownTargetError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    engine = ExperimentEngine(jobs=args.jobs)
     for title, module in (("FIGURE 1", figure1), ("TABLE 1", table1),
                           ("TABLE 2", table2), ("SWEEPS", sweeps)):
         print("#" * 72)
         print(f"# {title}  (target: {target.name})")
         print("#" * 72)
-        print(module.main(target=target))
+        print(module.main(target=target, engine=engine))
         print()
+    if args.cache_stats:
+        print(engine.describe(), file=sys.stderr)
     return 0
 
 

@@ -23,11 +23,11 @@ Run as ``python -m repro.experiments.figure1``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Union
+from typing import List, Optional, Union
 
 from ..compiler import OptLevel
 from ..compiler.target import TargetDescription, resolve_target
-from ..pipeline import CompareResult, compile_machine, optimize_and_compare
+from ..engine import CompareJob, ExperimentEngine
 from .models import (flat_machine_with_unreachable_state,
                      hierarchical_machine_with_shadowed_composite)
 from .report import format_gain, render_table
@@ -53,46 +53,50 @@ class Figure1Row:
     behavior_preserved: bool
 
 
-def _dce_keeps_code(machine, marker: str) -> bool:
-    result = compile_machine(machine, "nested-switch", OptLevel.OS,
-                             capture_dumps=True)
+def _dce_keeps_code(engine: ExperimentEngine, machine, marker: str) -> bool:
+    result = engine.compile_machine(machine, "nested-switch", OptLevel.OS,
+                                    capture_dumps=True)
     return marker in result.dump_after("dce")
 
 
 def run_figure1(pattern: str = "nested-switch",
                 target: Union[TargetDescription, str, None] = None,
+                engine: Optional[ExperimentEngine] = None,
+                jobs: int = 1,
                 ) -> List[Figure1Row]:
-    """Regenerate both Figure 1 rows."""
+    """Regenerate both Figure 1 rows (one engine batch)."""
+    eng = engine if engine is not None else ExperimentEngine(jobs=jobs)
     rows: List[Figure1Row] = []
     flat = flat_machine_with_unreachable_state()
-    cmp_flat: CompareResult = optimize_and_compare(flat, pattern,
-                                                   target=target)
+    hier = hierarchical_machine_with_shadowed_composite()
+    cmp_flat, cmp_hier = eng.compare_batch(
+        [CompareJob(flat, pattern, target=target),
+         CompareJob(hier, pattern, target=target)])
     rows.append(Figure1Row(
         example="flat (unreachable state S2)",
         pattern=pattern,
         size_before=cmp_flat.size_before,
         size_after=cmp_flat.size_after,
         gain_percent=cmp_flat.gain_percent,
-        dce_kept_dead_code=_dce_keeps_code(flat, "s2_exit_action"),
+        dce_kept_dead_code=_dce_keeps_code(eng, flat, "s2_exit_action"),
         behavior_preserved=cmp_flat.equivalence.equivalent,
     ))
-    hier = hierarchical_machine_with_shadowed_composite()
-    cmp_hier = optimize_and_compare(hier, pattern, target=target)
     rows.append(Figure1Row(
         example="hierarchical (shadowed composite S3)",
         pattern=pattern,
         size_before=cmp_hier.size_before,
         size_after=cmp_hier.size_after,
         gain_percent=cmp_hier.gain_percent,
-        dce_kept_dead_code=_dce_keeps_code(hier, "s31_enter_action"),
+        dce_kept_dead_code=_dce_keeps_code(eng, hier, "s31_enter_action"),
         behavior_preserved=cmp_hier.equivalence.equivalent,
     ))
     return rows
 
 
-def main(target: Union[TargetDescription, str, None] = None) -> str:
+def main(target: Union[TargetDescription, str, None] = None,
+         engine: Optional[ExperimentEngine] = None, jobs: int = 1) -> str:
     tgt = resolve_target(target)
-    rows = run_figure1(target=tgt)
+    rows = run_figure1(target=tgt, engine=engine, jobs=jobs)
     table = render_table(
         "Figure 1 - model optimization impact on assembly size "
         f"(MGCC -Os, {tgt.name.upper()} bytes; paper: GCC 4.3.2 -Os)",

@@ -30,8 +30,8 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..compiler import OptLevel, available_targets
 from ..compiler.target import TargetDescription, resolve_target
-from ..optim import DEFAULT_PIPELINE, optimize
-from ..pipeline import compile_machine, optimize_and_compare
+from ..engine import CompareJob, CompileJob, ExperimentEngine
+from ..optim import DEFAULT_PIPELINE
 from .models import hierarchical_machine_with_shadowed_composite
 from .report import render_table
 from .workload import WorkloadSpec, generate_machine
@@ -58,87 +58,118 @@ class SweepPoint:
             self.size_before
 
 
+def _engine(engine: Optional[ExperimentEngine], jobs: int
+            ) -> ExperimentEngine:
+    return engine if engine is not None else ExperimentEngine(jobs=jobs)
+
+
 def unreachable_sweep(dead_counts: Sequence[int] = (0, 1, 2, 4, 8),
                       pattern: str = "nested-switch",
                       n_live: int = 5,
                       target: Union[TargetDescription, str, None] = None,
+                      engine: Optional[ExperimentEngine] = None,
+                      jobs: int = 1,
                       ) -> List[SweepPoint]:
     """Gain as a function of the number of removed (dead) states."""
-    points = []
-    for n_dead in dead_counts:
-        machine = generate_machine(WorkloadSpec(n_live=n_live,
-                                                n_dead=n_dead))
-        cmp = optimize_and_compare(machine, pattern, check_behavior=False,
-                                   target=target)
-        points.append(SweepPoint(n_dead, f"{n_dead} dead states",
-                                 cmp.size_before, cmp.size_after))
-    return points
+    eng = _engine(engine, jobs)
+    machines = [generate_machine(WorkloadSpec(n_live=n_live, n_dead=n_dead))
+                for n_dead in dead_counts]
+    cmps = eng.compare_batch([CompareJob(machine, pattern,
+                                         check_behavior=False,
+                                         target=target)
+                              for machine in machines])
+    return [SweepPoint(n_dead, f"{n_dead} dead states",
+                       cmp.size_before, cmp.size_after)
+            for n_dead, cmp in zip(dead_counts, cmps)]
 
 
 def composite_sweep(widths: Sequence[int] = (1, 2, 4, 8),
                     pattern: str = "nested-switch",
                     target: Union[TargetDescription, str, None] = None,
+                    engine: Optional[ExperimentEngine] = None,
+                    jobs: int = 1,
                     ) -> List[SweepPoint]:
     """Gain as the shadowed composite's submachine grows."""
-    points = []
-    for width in widths:
-        machine = generate_machine(WorkloadSpec(
-            n_live=4, n_shadowed_composites=1, composite_width=width))
-        cmp = optimize_and_compare(machine, pattern, check_behavior=False,
-                                   target=target)
-        points.append(SweepPoint(width, f"width {width}",
-                                 cmp.size_before, cmp.size_after))
-    return points
+    eng = _engine(engine, jobs)
+    machines = [generate_machine(WorkloadSpec(
+        n_live=4, n_shadowed_composites=1, composite_width=width))
+        for width in widths]
+    cmps = eng.compare_batch([CompareJob(machine, pattern,
+                                         check_behavior=False,
+                                         target=target)
+                              for machine in machines])
+    return [SweepPoint(width, f"width {width}",
+                       cmp.size_before, cmp.size_after)
+            for width, cmp in zip(widths, cmps)]
 
 
 def pattern_scaling_sweep(sizes: Sequence[int] = (4, 8, 16, 24),
                           target: Union[TargetDescription, str, None] = None,
+                          engine: Optional[ExperimentEngine] = None,
+                          jobs: int = 1,
                           ) -> Dict[str, List[SweepPoint]]:
     """Absolute size per pattern as the (live) machine grows."""
     from ..codegen import ALL_GENERATORS
+    eng = _engine(engine, jobs)
+    machines = {n: generate_machine(WorkloadSpec(n_live=n)) for n in sizes}
+    grid = [(n, gen_cls) for n in sizes for gen_cls in ALL_GENERATORS]
+    results = eng.run_batch([CompileJob(machines[n], gen_cls.name,
+                                        OptLevel.OS, target=target)
+                             for n, gen_cls in grid])
     curves: Dict[str, List[SweepPoint]] = {g.name: [] for g in
                                            ALL_GENERATORS}
-    for n in sizes:
-        machine = generate_machine(WorkloadSpec(n_live=n))
-        for gen_cls in ALL_GENERATORS:
-            size = compile_machine(machine, gen_cls.name, OptLevel.OS,
-                                   target=target).total_size
-            curves[gen_cls.name].append(
-                SweepPoint(n, f"{n} states", size, size))
+    for (n, gen_cls), result in zip(grid, results):
+        size = result.total_size
+        curves[gen_cls.name].append(SweepPoint(n, f"{n} states",
+                                               size, size))
     return curves
 
 
 def pass_ablation(pattern: str = "nested-switch",
                   target: Union[TargetDescription, str, None] = None,
+                  engine: Optional[ExperimentEngine] = None,
+                  jobs: int = 1,
                   ) -> List[SweepPoint]:
     """Size after enabling the pipeline one pass at a time (cumulative)."""
+    eng = _engine(engine, jobs)
     machine = hierarchical_machine_with_shadowed_composite()
-    baseline = compile_machine(machine, pattern, OptLevel.OS,
-                               target=target).total_size
+    baseline = eng.compile_machine(machine, pattern, OptLevel.OS,
+                                   target=target).total_size
+    prefixes = [list(DEFAULT_PIPELINE[:i])
+                for i in range(1, len(DEFAULT_PIPELINE) + 1)]
+    optimized = eng.map(
+        lambda selection: eng.optimize_model(
+            machine, selection=selection).optimized, prefixes)
+    results = eng.run_batch([CompileJob(opt, pattern, OptLevel.OS,
+                                        target=target)
+                             for opt in optimized])
     points = [SweepPoint(0, "no model optimization", baseline, baseline)]
-    for i in range(1, len(DEFAULT_PIPELINE) + 1):
-        selection = list(DEFAULT_PIPELINE[:i])
-        optimized = optimize(machine, selection=selection).optimized
-        size = compile_machine(optimized, pattern, OptLevel.OS,
-                               target=target).total_size
+    for i, result in enumerate(results, start=1):
         points.append(SweepPoint(i, "+" + DEFAULT_PIPELINE[i - 1],
-                                 baseline, size))
+                                 baseline, result.total_size))
     return points
 
 
 def opt_level_sweep(pattern: str = "nested-switch",
                     target: Union[TargetDescription, str, None] = None,
+                    engine: Optional[ExperimentEngine] = None,
+                    jobs: int = 1,
                     ) -> List[SweepPoint]:
-    """Compiler-only optimization (non-optimized model) per -O level."""
+    """Compiler-only optimization (non-optimized model) per -O level.
+
+    The ``-O0`` reference compile and the loop's ``-O0`` cell are the
+    same cache entry — the engine's dedup at work.
+    """
+    eng = _engine(engine, jobs)
     machine = hierarchical_machine_with_shadowed_composite()
-    o0 = compile_machine(machine, pattern, OptLevel.O0,
-                         target=target).total_size
-    points = []
-    for i, level in enumerate(OptLevel):
-        size = compile_machine(machine, pattern, level,
-                               target=target).total_size
-        points.append(SweepPoint(i, level.value, o0, size))
-    return points
+    o0 = eng.compile_machine(machine, pattern, OptLevel.O0,
+                             target=target).total_size
+    levels = list(OptLevel)
+    results = eng.run_batch([CompileJob(machine, pattern, level,
+                                        target=target)
+                             for level in levels])
+    return [SweepPoint(i, level.value, o0, result.total_size)
+            for i, (level, result) in enumerate(zip(levels, results))]
 
 
 @dataclass(frozen=True)
@@ -154,25 +185,34 @@ class TargetSweepRow:
 
 def target_sweep(level: OptLevel = OptLevel.OS,
                  targets: Optional[Sequence[str]] = None,
+                 engine: Optional[ExperimentEngine] = None,
+                 jobs: int = 1,
                  ) -> List[TargetSweepRow]:
     """Compile every pattern for every registered target — the cross-ISA
     comparison the pluggable backend enables (paper's "size of the
     generated assembly code", per target)."""
     from ..codegen import ALL_PATTERNS
+    eng = _engine(engine, jobs)
     machine = hierarchical_machine_with_shadowed_composite()
+    grid = [(target_name, gen_cls)
+            for target_name in (targets or available_targets())
+            for gen_cls in ALL_PATTERNS]
+    results = eng.run_batch([CompileJob(machine, gen_cls.name, level,
+                                        target=target_name)
+                             for target_name, gen_cls in grid])
     rows: List[TargetSweepRow] = []
-    for target_name in (targets or available_targets()):
-        for gen_cls in ALL_PATTERNS:
-            module = compile_machine(machine, gen_cls.name, level,
-                                     target=target_name).module
-            rows.append(TargetSweepRow(
-                pattern=gen_cls.name, target=target_name,
-                text_size=module.text_size, rodata_size=module.rodata_size,
-                total_size=module.total_size))
+    for (target_name, gen_cls), result in zip(grid, results):
+        module = result.module
+        rows.append(TargetSweepRow(
+            pattern=gen_cls.name, target=target_name,
+            text_size=module.text_size, rodata_size=module.rodata_size,
+            total_size=module.total_size))
     return rows
 
 
-def main(target: Union[TargetDescription, str, None] = None) -> str:
+def main(target: Union[TargetDescription, str, None] = None,
+         engine: Optional[ExperimentEngine] = None, jobs: int = 1) -> str:
+    eng = _engine(engine, jobs)
     tgt = resolve_target(target)
     suffix = f" [{tgt.name}]"
     parts: List[str] = []
@@ -180,13 +220,13 @@ def main(target: Union[TargetDescription, str, None] = None) -> str:
         "gain vs removed states (nested-switch, -Os)" + suffix,
         ["dead states", "before (B)", "after (B)", "gain"],
         [[p.x, p.size_before, p.size_after, f"{p.gain_percent:.2f}%"]
-         for p in unreachable_sweep(target=tgt)]))
+         for p in unreachable_sweep(target=tgt, engine=eng)]))
     parts.append(render_table(
         "gain vs shadowed composite width (nested-switch, -Os)" + suffix,
         ["substates", "before (B)", "after (B)", "gain"],
         [[p.x, p.size_before, p.size_after, f"{p.gain_percent:.2f}%"]
-         for p in composite_sweep(target=tgt)]))
-    curves = pattern_scaling_sweep(target=tgt)
+         for p in composite_sweep(target=tgt, engine=eng)]))
+    curves = pattern_scaling_sweep(target=tgt, engine=eng)
     sizes = sorted({p.x for pts in curves.values() for p in pts})
     parts.append(render_table(
         "absolute size vs live machine size (-Os)" + suffix,
@@ -198,18 +238,18 @@ def main(target: Union[TargetDescription, str, None] = None) -> str:
         + suffix,
         ["step", "pipeline prefix", "size (B)", "gain vs baseline"],
         [[p.x, p.label, p.size_after, f"{p.gain_percent:.2f}%"]
-         for p in pass_ablation(target=tgt)]))
+         for p in pass_ablation(target=tgt, engine=eng)]))
     parts.append(render_table(
         "compiler-only -O levels (non-optimized hierarchical model)"
         + suffix,
         ["level", "size (B)", "vs -O0"],
         [[p.label, p.size_after, f"{p.gain_percent:.2f}%"]
-         for p in opt_level_sweep(target=tgt)]))
+         for p in opt_level_sweep(target=tgt, engine=eng)]))
     parts.append(render_table(
         "cross-target code size (hierarchical model, -Os, all patterns)",
         ["pattern", "target", "text (B)", "rodata (B)", "total (B)"],
         [[r.pattern, r.target, r.text_size, r.rodata_size, r.total_size]
-         for r in target_sweep()]))
+         for r in target_sweep(engine=eng)]))
     return "\n\n".join(parts)
 
 

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Union
 from ..codegen import ALL_GENERATORS
 from ..compiler import OptLevel
 from ..compiler.target import TargetDescription, resolve_target
-from ..pipeline import optimize_and_compare
+from ..engine import CompareJob, ExperimentEngine
 from ..uml.statemachine import StateMachine
 from .models import hierarchical_machine_with_shadowed_composite
 from .report import render_table
@@ -58,14 +58,23 @@ class Table1Row:
 def run_table1(machine: Optional[StateMachine] = None,
                level: OptLevel = OptLevel.OS,
                target: Union[TargetDescription, str, None] = None,
+               engine: Optional[ExperimentEngine] = None,
+               jobs: int = 1,
                ) -> List[Table1Row]:
-    """Regenerate Table 1 (defaults to the paper's hierarchical model)."""
+    """Regenerate Table 1 (defaults to the paper's hierarchical model).
+
+    All patterns run as one engine batch: the model optimization is
+    shared across the grid and ``jobs`` (or a passed *engine*'s pool)
+    compiles the patterns in parallel.
+    """
     if machine is None:
         machine = hierarchical_machine_with_shadowed_composite()
+    eng = engine if engine is not None else ExperimentEngine(jobs=jobs)
+    cmps = eng.compare_batch([CompareJob(machine, gen_cls.name, level,
+                                         target=target)
+                              for gen_cls in ALL_GENERATORS])
     rows: List[Table1Row] = []
-    for gen_cls in ALL_GENERATORS:
-        cmp = optimize_and_compare(machine, gen_cls.name, level,
-                                   target=target)
+    for gen_cls, cmp in zip(ALL_GENERATORS, cmps):
         rows.append(Table1Row(
             pattern=gen_cls.name,
             display_name=gen_cls.display_name,
@@ -77,9 +86,10 @@ def run_table1(machine: Optional[StateMachine] = None,
     return rows
 
 
-def main(target: Union[TargetDescription, str, None] = None) -> str:
+def main(target: Union[TargetDescription, str, None] = None,
+         engine: Optional[ExperimentEngine] = None, jobs: int = 1) -> str:
     tgt = resolve_target(target)
-    rows = run_table1(target=tgt)
+    rows = run_table1(target=tgt, engine=engine, jobs=jobs)
     measured = render_table(
         "Table 1 - optimization gain for three different patterns "
         f"(MGCC -Os, {tgt.name.upper()} bytes)",

@@ -37,15 +37,14 @@ Run as ``python -m repro.experiments.table2``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from ..codegen import ALL_GENERATORS
-from ..compiler import OptLevel, compile_unit
+from ..compiler import OptLevel
 from ..compiler.target import TargetDescription
+from ..engine import CompileJob, ExperimentEngine
 from ..optim import PassManager
-from ..pipeline import compile_machine
 from ..semantics.variation import SemanticsConfig
-from ..optim import optimize
 from .models import hierarchical_machine_with_shadowed_composite
 from .report import render_table
 
@@ -81,27 +80,29 @@ class Table2Row:
     evidence: Dict[str, str]
 
 
-def _evidence(target: Union[TargetDescription, str, None] = None
+def _evidence(target: Union[TargetDescription, str, None] = None,
+              engine: Optional[ExperimentEngine] = None,
               ) -> Dict[str, str]:
     """Run the executable checks that back the derivable entries."""
     machine = hierarchical_machine_with_shadowed_composite()
+    eng = engine if engine is not None else ExperimentEngine()
     checks: Dict[str, str] = {}
 
     # (1) Before-codegen optimization is implementation-independent: one
     # optimized model serves every pattern.
-    optimized = optimize(machine).optimized
-    sizes = {}
-    for gen_cls in ALL_GENERATORS:
-        sizes[gen_cls.name] = compile_unit(
-            gen_cls().generate(optimized), OptLevel.OS,
-            target=target).total_size
+    optimized = eng.optimize_model(machine).optimized
+    results = eng.run_batch([CompileJob(optimized, gen_cls.name,
+                                        OptLevel.OS, target=target)
+                             for gen_cls in ALL_GENERATORS])
+    sizes = {gen_cls.name: result.total_size
+             for gen_cls, result in zip(ALL_GENERATORS, results)}
     checks["independent from implementation"] = (
         "one optimized model feeds all three patterns "
         f"(sizes {sizes}); no per-pattern rework needed")
 
     # (2) Detection at the compiler level fails: DCE keeps the dead code.
-    result = compile_machine(machine, "nested-switch", OptLevel.OS,
-                             capture_dumps=True)
+    result = eng.compile_machine(machine, "nested-switch", OptLevel.OS,
+                                 capture_dumps=True)
     kept = "s31_enter_action" in result.dump_after("dce")
     checks["easy to detect"] = (
         "model level: one reachability query; compiler level: post-DCE "
@@ -120,8 +121,11 @@ def _evidence(target: Union[TargetDescription, str, None] = None
 
 def run_table2(with_evidence: bool = True,
                target: Union[TargetDescription, str, None] = None,
+               engine: Optional[ExperimentEngine] = None,
+               jobs: int = 1,
                ) -> List[Table2Row]:
-    evidence = _evidence(target=target) if with_evidence else {}
+    eng = engine if engine is not None else ExperimentEngine(jobs=jobs)
+    evidence = _evidence(target=target, engine=eng) if with_evidence else {}
     rows = []
     for alternative, values in PAPER_TABLE2.items():
         row_evidence = (evidence if alternative == "before code generation"
@@ -130,8 +134,9 @@ def run_table2(with_evidence: bool = True,
     return rows
 
 
-def main(target: Union[TargetDescription, str, None] = None) -> str:
-    rows = run_table2(target=target)
+def main(target: Union[TargetDescription, str, None] = None,
+         engine: Optional[ExperimentEngine] = None, jobs: int = 1) -> str:
+    rows = run_table2(target=target, engine=engine, jobs=jobs)
     table = render_table(
         "Table 2 - classification of the three alternatives",
         ["alternative"] + CRITERIA,

@@ -15,7 +15,15 @@ machines with:
   Fig. 1 hierarchical pathology — each carrying ``composite_width``
   substates;
 * entry/exit behaviors with a configurable number of opaque calls, and a
-  configurable fraction of guarded transitions.
+  configurable fraction of guarded transitions — applied uniformly to
+  every *event* transition (live core, dead states, composites);
+  completion transitions stay unguarded because the shadowing pathology
+  depends on an unguarded completion winning.
+
+Ring chords never self-loop and prefer targets the source has no edge
+to yet; when ``events_per_state`` exceeds the available fanout they
+reuse targets on distinct events rather than silently emitting fewer
+transitions than the spec asked for.
 
 All machines validate and are executable by the interpreter.
 """
@@ -78,18 +86,32 @@ def generate_machine(spec: WorkloadSpec) -> StateMachine:
         event_counter += 1
         return f"ev{event_counter}"
 
+    def maybe_guard() -> "str | None":
+        # One rng draw per *event* transition, everywhere in the machine,
+        # so guarded_fraction is honored uniformly (completion transitions
+        # stay unguarded: the shadowing pathology requires it).
+        return ("guard_var > 0"
+                if rng.random() < spec.guarded_fraction else None)
+
     for i, name in enumerate(live_names):
         target = live_names[(i + 1) % spec.n_live]
-        guard = ("guard_var > 0"
-                 if rng.random() < spec.guarded_fraction else None)
-        b.transition(name, target, on=next_event(), guard=guard,
+        b.transition(name, target, on=next_event(), guard=maybe_guard(),
                      effect=_behavior(f"t{i}_effect", 1))
+        # Chord targets exclude the source (no self-loops) and prefer
+        # fresh targets; once the fanout is exhausted they reuse targets
+        # (distinct events keep the edges legal) so events_per_state is
+        # honored even for tiny live cores.
+        used = {target}
+        others = [s for s in live_names if s != name]
         for _ in range(max(spec.events_per_state - 1, 0)):
-            chord = rng.choice(live_names)
-            guard = ("guard_var > 0"
-                     if rng.random() < spec.guarded_fraction else None)
-            b.transition(name, chord, on=next_event(), guard=guard)
-    b.transition(live_names[0], "final", on=next_event())
+            if not others:
+                break  # n_live == 1: no non-self target exists
+            candidates = [s for s in others if s not in used] or others
+            chord = rng.choice(candidates)
+            used.add(chord)
+            b.transition(name, chord, on=next_event(), guard=maybe_guard())
+    b.transition(live_names[0], "final", on=next_event(),
+                 guard=maybe_guard())
 
     # Dead flat states: transitions out (into the live core), none in.
     for i in range(spec.n_dead):
@@ -97,7 +119,8 @@ def generate_machine(spec: WorkloadSpec) -> StateMachine:
         b.state(name,
                 entry=_behavior(f"{name.lower()}_entry", spec.entry_calls),
                 exit=_behavior(f"{name.lower()}_exit", spec.exit_calls))
-        b.transition(name, rng.choice(live_names), on=next_event())
+        b.transition(name, rng.choice(live_names), on=next_event(),
+                     guard=maybe_guard())
 
     # Shadowed composites: host state with an unguarded completion
     # transition + an event transition into the composite (dead by UML
@@ -106,7 +129,8 @@ def generate_machine(spec: WorkloadSpec) -> StateMachine:
         host = f"H{i}"
         b.state(host, entry=_behavior(f"{host.lower()}_entry",
                                       spec.entry_calls))
-        b.transition(live_names[-1], host, on=next_event())
+        b.transition(live_names[-1], host, on=next_event(),
+                     guard=maybe_guard())
         comp = b.composite(f"C{i}",
                            entry=_behavior(f"c{i}_entry", spec.entry_calls),
                            exit=_behavior(f"c{i}_exit", spec.exit_calls))
@@ -120,9 +144,15 @@ def generate_machine(spec: WorkloadSpec) -> StateMachine:
         comp.initial_to(inner_names[0])
         for j in range(len(inner_names) - 1):
             comp.transition(inner_names[j], inner_names[j + 1],
-                            on=next_event())
-        comp.transition(inner_names[-1], "final", on=next_event())
-        b.transition(host, f"C{i}", on=next_event())   # shadowed
-        b.completion(host, live_names[0])              # always wins
-        b.transition(f"C{i}", live_names[0], on=next_event())
+                            on=next_event(), guard=maybe_guard())
+        comp.transition(inner_names[-1], "final", on=next_event(),
+                        guard=maybe_guard())
+        b.transition(host, f"C{i}", on=next_event(),
+                     guard=maybe_guard())              # shadowed
+        b.completion(host, live_names[0])              # always wins:
+        # the completion transition is deliberately unguarded — UML
+        # completion priority over a guard-free completion is exactly the
+        # shadowing pathology this family exists to exhibit.
+        b.transition(f"C{i}", live_names[0], on=next_event(),
+                     guard=maybe_guard())
     return b.build()

@@ -9,13 +9,16 @@ compiler optimizations are reused as they are.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import ExperimentEngine
 
 from .codegen import CodeGenerator, generator_by_name
 from .compiler import CompileResult, OptLevel, compile_unit
 from .compiler.target import (DEFAULT_TARGET_NAME, TargetDescription,
                               resolve_target)
-from .optim import OptimizationReport, check_equivalence, optimize
+from .optim import OptimizationReport
 from .optim.equivalence import EquivalenceReport
 from .semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
 from .uml.statemachine import StateMachine
@@ -72,23 +75,22 @@ def run_pipeline(machine: StateMachine, pattern: str = "nested-switch",
                  optimize_model: bool = True,
                  semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS,
                  target: Union[TargetDescription, str, None] = None,
+                 engine: Optional["ExperimentEngine"] = None,
                  ) -> PipelineResult:
     """The full two-step pipeline.
 
     ``optimize_model=False`` reproduces the paper's baseline (compiler
     optimizations only); the default runs the model-level pipeline first.
+    Passing an :class:`~repro.engine.ExperimentEngine` routes the work
+    through its cache (a private single-call engine otherwise — the
+    engine owns the one implementation of this workflow).
     """
-    report: Optional[OptimizationReport] = None
-    source = machine
-    if optimize_model:
-        report = optimize(machine, selection=model_optimizations,
-                          semantics=semantics)
-        source = report.optimized
-    compile_result = compile_machine(source, pattern=pattern, level=level,
-                                     target=target)
-    return PipelineResult(machine=machine, pattern=pattern, opt_level=level,
-                          model_report=report,
-                          compile_result=compile_result)
+    from .engine import ExperimentEngine
+    eng = engine if engine is not None else ExperimentEngine()
+    return eng.run_pipeline(machine, pattern=pattern, level=level,
+                            model_optimizations=model_optimizations,
+                            optimize_model=optimize_model,
+                            semantics=semantics, target=target)
 
 
 @dataclass
@@ -125,22 +127,24 @@ def optimize_and_compare(machine: StateMachine,
                          level: OptLevel = OptLevel.OS,
                          model_optimizations: Optional[Sequence[str]] = None,
                          check_behavior: bool = True,
+                         semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS,
                          target: Union[TargetDescription, str, None] = None,
+                         engine: Optional["ExperimentEngine"] = None,
                          ) -> CompareResult:
     """The paper's experiment, end to end: compile the model as-is and
     after model-level optimization, compare assembly sizes, and verify
-    the optimization was behaviour-preserving."""
-    tgt = resolve_target(target)
-    report = optimize(machine, selection=model_optimizations)
-    size_before = compile_machine(machine, pattern, level,
-                                  target=tgt).total_size
-    size_after = compile_machine(report.optimized, pattern, level,
-                                 target=tgt).total_size
-    if check_behavior:
-        equivalence = check_equivalence(machine, report.optimized)
-    else:
-        equivalence = EquivalenceReport()
-    return CompareResult(machine_name=machine.name, pattern=pattern,
-                         size_before=size_before, size_after=size_after,
-                         model_report=report, equivalence=equivalence,
-                         target_name=tgt.name)
+    the optimization was behaviour-preserving.
+
+    *semantics* selects the semantic variation points the optimizer and
+    the equivalence check run under (like :func:`run_pipeline` — passes
+    whose soundness depends on a disabled variation point are skipped).
+    Passing an :class:`~repro.engine.ExperimentEngine` routes the work
+    through its cache (a private single-call engine otherwise — the
+    engine owns the one implementation of this workflow).
+    """
+    from .engine import ExperimentEngine
+    eng = engine if engine is not None else ExperimentEngine()
+    return eng.optimize_and_compare(
+        machine, pattern=pattern, level=level,
+        model_optimizations=model_optimizations,
+        check_behavior=check_behavior, semantics=semantics, target=target)

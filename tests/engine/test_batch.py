@@ -1,0 +1,100 @@
+"""Batch planner dedup + serial/parallel determinism."""
+
+import pytest
+
+from repro.compiler import OptLevel
+from repro.engine import (CompareJob, CompileJob, ExperimentEngine,
+                          plan_batch)
+from repro.experiments.models import (
+    flat_machine_with_unreachable_state,
+    hierarchical_machine_with_shadowed_composite)
+from repro.experiments.workload import WorkloadSpec, generate_machine
+
+
+class TestPlanBatch:
+    def test_dedupes_identical_jobs(self):
+        machine = hierarchical_machine_with_shadowed_composite()
+        rebuilt = hierarchical_machine_with_shadowed_composite()
+        jobs = [CompileJob(machine, "nested-switch"),
+                CompileJob(machine, "state-table"),
+                # distinct object, identical content -> same fingerprint
+                CompileJob(rebuilt, "nested-switch")]
+        plan = plan_batch(jobs)
+        assert plan.n_jobs == 3
+        assert plan.n_unique == 2
+        assert plan.n_deduplicated == 1
+
+    def test_keeps_input_order(self):
+        machine = flat_machine_with_unreachable_state()
+        jobs = [CompileJob(machine, "state-table"),
+                CompileJob(machine, "nested-switch"),
+                CompileJob(machine, "state-table")]
+        plan = plan_batch(jobs)
+        assert plan.order[0] == plan.order[2] != plan.order[1]
+
+    def test_compare_jobs_fingerprint_components(self):
+        machine = flat_machine_with_unreachable_state()
+        base = CompareJob(machine).fingerprint()
+        assert base == CompareJob(machine).fingerprint()
+        assert base != CompareJob(machine, pattern="state-table"
+                                  ).fingerprint()
+        assert base != CompareJob(machine, check_behavior=False
+                                  ).fingerprint()
+        assert base != CompareJob(machine, target="rt16").fingerprint()
+        assert base != CompareJob(
+            machine, model_optimizations=["simplify-guards"]).fingerprint()
+
+
+class TestBatchExecution:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        machines = [generate_machine(WorkloadSpec(n_live=3, n_dead=d))
+                    for d in (0, 1, 2)]
+        return [CompileJob(m, pattern, OptLevel.OS)
+                for m in machines
+                for pattern in ("nested-switch", "state-table")]
+
+    def test_parallel_equals_serial(self, grid):
+        serial = ExperimentEngine(jobs=1).run_batch(grid)
+        parallel = ExperimentEngine(jobs=4).run_batch(grid)
+        assert [r.total_size for r in serial] == \
+            [r.total_size for r in parallel]
+        assert [r.module.listing() for r in serial] == \
+            [r.module.listing() for r in parallel]
+
+    def test_duplicates_share_one_result(self, grid):
+        eng = ExperimentEngine(jobs=2)
+        results = eng.run_batch(grid + grid)
+        assert eng.stats.misses == len(grid)
+        for first, second in zip(results[:len(grid)], results[len(grid):]):
+            assert first is second
+
+    def test_hit_miss_counts_deterministic_across_jobs(self, grid):
+        doubled = grid + grid
+        counts = []
+        for jobs in (1, 2, 8):
+            eng = ExperimentEngine(jobs=jobs)
+            eng.run_batch(doubled)
+            counts.append((eng.stats.hits, eng.stats.misses))
+        assert len(set(counts)) == 1
+
+    def test_compare_batch_parallel_equals_serial(self):
+        machines = [generate_machine(WorkloadSpec(n_live=3, n_dead=d))
+                    for d in (0, 2)]
+        jobs = [CompareJob(m, check_behavior=False) for m in machines]
+        serial = ExperimentEngine(jobs=1).compare_batch(jobs)
+        parallel = ExperimentEngine(jobs=4).compare_batch(jobs)
+        assert [c.summary() for c in serial] == \
+            [c.summary() for c in parallel]
+
+    def test_compare_batch_shares_optimized_model(self):
+        """The unoptimized baseline's sibling — one optimize() feeds
+        every pattern of the grid (the dedicated shared sub-work)."""
+        machine = hierarchical_machine_with_shadowed_composite()
+        eng = ExperimentEngine()
+        eng.compare_batch([CompareJob(machine, p, check_behavior=False)
+                           for p in ("nested-switch", "state-table",
+                                     "state-pattern")])
+        # 1 optimize + 6 compiles = 7 misses; 2 repeat optimize lookups.
+        assert eng.stats.misses == 7
+        assert eng.stats.hits == 2

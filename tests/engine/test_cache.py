@@ -1,0 +1,110 @@
+"""CompileCache correctness: miss -> hit, stats, concurrency dedup."""
+
+import threading
+
+import pytest
+
+from repro.compiler import OptLevel
+from repro.engine import CompileCache, ExperimentEngine
+from repro.experiments.models import \
+    hierarchical_machine_with_shadowed_composite
+from repro.pipeline import compile_machine
+from repro.semantics import SemanticsConfig
+
+
+class TestCompileCache:
+    def test_miss_then_hit(self):
+        cache = CompileCache()
+        calls = []
+        assert cache.get_or_compute("k", lambda: calls.append(1) or 41) == 41
+        assert cache.get_or_compute("k", lambda: calls.append(1) or 99) == 41
+        assert len(calls) == 1
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_clear_forgets_values_keeps_stats(self):
+        cache = CompileCache()
+        cache.get_or_compute("k", lambda: 1)
+        cache.clear()
+        assert cache.get_or_compute("k", lambda: 2) == 2
+        assert cache.stats.misses == 2
+
+    def test_failed_compute_is_not_cached(self):
+        cache = CompileCache()
+
+        def boom():
+            raise ValueError("transient")
+
+        with pytest.raises(ValueError):
+            cache.get_or_compute("k", boom)
+        assert cache.get_or_compute("k", lambda: "ok") == "ok"
+
+    def test_concurrent_callers_compute_once(self):
+        cache = CompileCache()
+        gate = threading.Event()
+        calls = []
+
+        def slow():
+            gate.wait(5)
+            calls.append(1)
+            return "value"
+
+        results = []
+        threads = [threading.Thread(
+            target=lambda: results.append(
+                cache.get_or_compute("k", slow))) for _ in range(4)]
+        for t in threads:
+            t.start()
+        gate.set()
+        for t in threads:
+            t.join()
+        assert results == ["value"] * 4
+        assert len(calls) == 1
+        assert cache.stats.misses == 1 and cache.stats.hits == 3
+
+
+class TestEngineCacheKeys:
+    """Engine-level: a hit needs *every* key component to match."""
+
+    @pytest.fixture(scope="class")
+    def machine(self):
+        return hierarchical_machine_with_shadowed_composite()
+
+    def test_identical_job_hits(self, machine):
+        eng = ExperimentEngine()
+        first = eng.compile_machine(machine, "nested-switch")
+        again = eng.compile_machine(machine, "nested-switch")
+        assert again is first  # same cached object, not a recompute
+        assert eng.stats.hits == 1 and eng.stats.misses == 1
+
+    def test_each_component_misses(self, machine):
+        eng = ExperimentEngine()
+        eng.compile_machine(machine, "nested-switch", OptLevel.OS,
+                            target="rt32")
+        variants = [
+            dict(pattern="state-table"),
+            dict(level=OptLevel.O0),
+            dict(target="rt16"),
+            dict(semantics=SemanticsConfig(completion_priority=False)),
+            dict(capture_dumps=True),
+        ]
+        for overrides in variants:
+            kwargs = dict(pattern="nested-switch", level=OptLevel.OS,
+                          target="rt32", capture_dumps=False)
+            kwargs.update(overrides)
+            eng.compile_machine(machine, **kwargs)
+        assert eng.stats.misses == 1 + len(variants)
+        assert eng.stats.hits == 0
+
+    def test_cached_result_matches_direct_pipeline(self, machine):
+        eng = ExperimentEngine()
+        cached = eng.compile_machine(machine, "state-table")
+        direct = compile_machine(machine, "state-table")
+        assert cached.total_size == direct.total_size
+        assert cached.module.listing() == direct.module.listing()
+
+    def test_shared_cache_across_engines(self, machine):
+        cache = CompileCache()
+        ExperimentEngine(cache=cache).compile_machine(machine)
+        ExperimentEngine(cache=cache).compile_machine(machine)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1

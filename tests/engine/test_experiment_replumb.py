@@ -1,0 +1,57 @@
+"""The experiment harnesses through the engine: identical output,
+warm-cache reruns, --jobs CLI plumbing."""
+
+from repro.engine import ExperimentEngine
+from repro.experiments import figure1, sweeps, table1, table2
+from repro.experiments.__main__ import main as cli_main
+
+
+def _full_suite(engine):
+    return "\n".join(module.main(engine=engine)
+                     for module in (figure1, table1, table2, sweeps))
+
+
+class TestEngineReplumb:
+    def test_serial_and_parallel_tables_byte_identical(self):
+        serial = _full_suite(ExperimentEngine(jobs=1))
+        parallel = _full_suite(ExperimentEngine(jobs=4))
+        assert serial == parallel
+
+    def test_warm_cache_second_run_is_mostly_hits(self):
+        """Acceptance: rerunning the full suite on a shared engine is
+        >90 % cache hits and byte-identical output."""
+        engine = ExperimentEngine(jobs=2)
+        first = _full_suite(engine)
+        hits_cold, misses_cold = engine.stats.hits, engine.stats.misses
+        second = _full_suite(engine)
+        assert second == first
+        warm_hits = engine.stats.hits - hits_cold
+        warm_misses = engine.stats.misses - misses_cold
+        warm_rate = warm_hits / (warm_hits + warm_misses)
+        assert warm_rate > 0.90, engine.stats.summary()
+        assert warm_misses == 0  # the rerun recomputed nothing
+
+    def test_run_table1_accepts_jobs_knob(self):
+        serial = table1.run_table1(jobs=1)
+        parallel = table1.run_table1(jobs=3)
+        assert serial == parallel
+
+    def test_sweeps_parallel_equals_serial_over_grid(self):
+        serial = sweeps.unreachable_sweep(dead_counts=(0, 2), jobs=1)
+        parallel = sweeps.unreachable_sweep(dead_counts=(0, 2), jobs=4)
+        assert serial == parallel
+
+
+class TestCli:
+    def test_cli_rejects_bad_jobs(self, capsys):
+        assert cli_main(["--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_cli_jobs_output_identical(self, capsys):
+        assert cli_main(["--target", "rt16"]) == 0
+        serial_out = capsys.readouterr().out
+        assert cli_main(["--target", "rt16", "--jobs", "4",
+                         "--cache-stats"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == serial_out
+        assert "cache:" in captured.err

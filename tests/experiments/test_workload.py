@@ -1,0 +1,115 @@
+"""Workload generator: spec fidelity and determinism.
+
+Regression tests for two generator bugs: ``guarded_fraction`` used to be
+sampled only for live-core edges (dead-state and composite transitions
+were never guarded), and ring chords could emit self-loops or duplicate
+an existing edge.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.engine import machine_fingerprint
+from repro.experiments.workload import WorkloadSpec, generate_machine
+from repro.uml import validate_machine
+from repro.uml.serialize import dumps_machine
+from repro.uml.statemachine import State
+
+FULL_SPEC = WorkloadSpec(n_live=5, n_dead=3, n_shadowed_composites=2,
+                         composite_width=3, events_per_state=3)
+
+
+def _event_transitions(machine):
+    return [t for region in machine.all_regions()
+            for t in region.transitions if t.triggers]
+
+
+def _completion_transitions(machine):
+    return [t for region in machine.all_regions()
+            for t in region.transitions
+            if not t.triggers and isinstance(t.source, State)]
+
+
+class TestGuardedFraction:
+    def test_zero_fraction_means_no_guards(self):
+        machine = generate_machine(FULL_SPEC)
+        assert all(t.guard is None for t in _event_transitions(machine))
+
+    def test_full_fraction_guards_every_event_transition(self):
+        machine = generate_machine(
+            dataclasses.replace(FULL_SPEC, guarded_fraction=1.0))
+        transitions = _event_transitions(machine)
+        assert transitions
+        unguarded = [t for t in transitions if t.guard is None]
+        assert unguarded == []
+
+    def test_guards_reach_dead_states_and_composites(self):
+        """The old generator never guarded these transition classes."""
+        spec = WorkloadSpec(n_live=4, n_dead=2, n_shadowed_composites=1,
+                            composite_width=2, guarded_fraction=1.0)
+        machine = generate_machine(spec)
+        dead_out = [t for t in _event_transitions(machine)
+                    if t.source.name.startswith("D")]
+        assert dead_out and all(t.guard is not None for t in dead_out)
+        inner = [t for t in _event_transitions(machine)
+                 if t.source.name.startswith("C0S")]
+        assert inner and all(t.guard is not None for t in inner)
+
+    def test_completion_transitions_stay_unguarded(self):
+        """The shadowing pathology requires an unguarded completion."""
+        spec = WorkloadSpec(n_live=4, n_shadowed_composites=2,
+                            guarded_fraction=1.0)
+        machine = generate_machine(spec)
+        completions = _completion_transitions(machine)
+        assert completions
+        assert all(t.guard is None for t in completions)
+
+
+class TestChords:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 0xBEEF, 12345])
+    def test_no_self_loops_no_duplicate_edges(self, seed):
+        spec = WorkloadSpec(n_live=6, events_per_state=4, seed=seed)
+        machine = generate_machine(spec)
+        live_edges = [(t.source.name, t.target.name)
+                      for t in _event_transitions(machine)
+                      if t.source.name.startswith("L")
+                      and t.target.name.startswith("L")]
+        assert all(src != dst for src, dst in live_edges)
+        assert len(live_edges) == len(set(live_edges))
+
+    def test_spec_exceeding_fanout_still_honors_event_count(self):
+        # events_per_state larger than the distinct non-self targets:
+        # targets are reused (distinct events), never self-looped, and
+        # the requested outgoing-edge count is still honored.
+        spec = WorkloadSpec(n_live=2, events_per_state=5)
+        machine = validate_machine(generate_machine(spec))
+        for state_name in ("L0", "L1"):
+            outgoing = [t for t in _event_transitions(machine)
+                        if t.source.name == state_name]
+            assert len(outgoing) >= spec.events_per_state
+            assert all(t.target.name != state_name for t in outgoing)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("spec", [
+        WorkloadSpec(seed=42),
+        FULL_SPEC,
+        WorkloadSpec(n_live=5, n_dead=2, guarded_fraction=0.5, seed=7),
+    ], ids=["default", "full", "guarded"])
+    def test_same_seed_same_machine(self, spec):
+        assert dumps_machine(generate_machine(spec)) == \
+            dumps_machine(generate_machine(spec))
+        assert machine_fingerprint(generate_machine(spec)) == \
+            machine_fingerprint(generate_machine(spec))
+
+    def test_different_seed_different_machine(self):
+        base = WorkloadSpec(n_live=6, guarded_fraction=0.5,
+                            events_per_state=3, seed=1)
+        other = WorkloadSpec(n_live=6, guarded_fraction=0.5,
+                             events_per_state=3, seed=2)
+        assert machine_fingerprint(generate_machine(base)) != \
+            machine_fingerprint(generate_machine(other))
+
+    def test_generated_machines_validate(self):
+        validate_machine(generate_machine(FULL_SPEC))

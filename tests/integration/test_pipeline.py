@@ -69,6 +69,28 @@ class TestOptimizeAndCompare:
         cmp = optimize_and_compare(build_flat_example())
         assert str(cmp.size_before) in cmp.summary()
 
+    def test_semantics_is_threaded_through(self):
+        """Regression: ``optimize_and_compare`` used to drop *semantics*
+        and always compare under ``UML_DEFAULT_SEMANTICS``."""
+        machine = build_hierarchical_example()
+        default = optimize_and_compare(machine, check_behavior=False)
+        non_uml = optimize_and_compare(
+            machine, check_behavior=False,
+            semantics=SemanticsConfig(completion_priority=False))
+        # Without completion priority the shadowing passes are skipped,
+        # S3 stays live, and the optimized model compiles bigger.
+        assert non_uml.size_after > default.size_after
+        assert non_uml.size_before == default.size_before
+        assert "remove-shadowed-transitions" in \
+            non_uml.model_report.skipped_passes
+
+    def test_semantics_reaches_the_equivalence_check(self):
+        machine = build_hierarchical_example()
+        non_uml = optimize_and_compare(
+            machine, semantics=SemanticsConfig(completion_priority=False))
+        # Machines must still be equivalent *under the chosen semantics*.
+        assert non_uml.equivalence.equivalent
+
 
 class TestCompileMachine:
     def test_dumps_available_on_request(self):
