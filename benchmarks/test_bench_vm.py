@@ -1,0 +1,65 @@
+"""VM benchmarks: assemble, boot, dispatch, and conformance rounds.
+
+These pin the execution layer's hot paths for ``scripts/check_bench.py``:
+
+* **assemble** — encoding a compiled module into an image (the
+  assembler+linker pass, pure data transformation);
+* **boot** — starting one simulated instance (memory copy + ``init()``);
+* **dispatch** — the per-event simulation cost, the loop dynamic
+  metrics are built from;
+* **conformance** — one small interpreter-vs-simulator differential
+  run, the unit of the conformance grid.
+
+The *simulated cycle counts* these paths produce are deterministic; the
+benchmarks measure the *host* cost of producing them.
+"""
+
+import pytest
+
+from repro.compiler import OptLevel
+from repro.experiments.models import \
+    hierarchical_machine_with_shadowed_composite
+from repro.vm import CompiledProgram, assemble, check_vm_conformance
+from repro.vm.harness import CompiledMachineVM
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return hierarchical_machine_with_shadowed_composite()
+
+
+@pytest.fixture(scope="module")
+def program(machine):
+    return CompiledProgram(machine, "nested-switch", level=OptLevel.OS,
+                           target="rt32")
+
+
+def test_bench_vm_assemble(benchmark, program):
+    image = benchmark(lambda: assemble(program.compile_result.module))
+    assert len(image.text) == program.compile_result.module.text_size
+
+
+def test_bench_vm_boot(benchmark, program):
+    vm = benchmark(program.boot)
+    assert vm.vm.cycles > 0
+
+
+def test_bench_vm_dispatch(benchmark, program):
+    events = ["e1", "e3", "e1", "e3"] * 5
+
+    def run() -> CompiledMachineVM:
+        return program.boot().send_all(events)
+
+    vm = benchmark(run)
+    assert vm.metrics.events_dispatched == len(events)
+    assert vm.metrics.cycles_per_event > 0
+
+
+def test_bench_vm_conformance(benchmark, machine):
+    scenarios = [(), ("e1",), ("e1", "e2"), ("e1", "e3", "e1")]
+    report = benchmark(
+        lambda: check_vm_conformance(machine, pattern="nested-switch",
+                                     level=OptLevel.OS, target="rt32",
+                                     scenarios=scenarios))
+    assert report.conformant
+    assert report.scenarios_run == len(scenarios)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Execute the documentation's Python code fences.
+
+Docs that show code which no longer runs are worse than no docs, so CI
+executes every ```python fence in README.md and docs/*.md in a fresh
+namespace (with ``src/`` importable) and fails on any exception —
+including failing ``assert``s, which the fences use to state their
+expected results.  Fences in other languages (bash, text) are listed
+but not executed.
+
+Usage::
+
+    python scripts/check_docs.py [FILE.md ...]   # default: README + docs/
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+import traceback
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+#: Opening fence: ``` plus an optional info string ("python", "python
+#: copy", " text", ...); the language is the info string's first word.
+_FENCE_OPEN = re.compile(r"^```\s*(\S*)")
+
+
+def extract_fences(path: pathlib.Path):
+    """Yield (start_line, language, source) per fenced block."""
+    language = None
+    start = 0
+    buffer: list = []
+    for number, line in enumerate(path.read_text().splitlines(), 1):
+        if language is None:
+            match = _FENCE_OPEN.match(line)
+            if match:
+                language = match.group(1) or "text"
+                start = number
+                buffer = []
+        elif line.strip() == "```":
+            yield start, language, "\n".join(buffer)
+            language = None
+        else:
+            buffer.append(line)
+
+
+def run_python_fence(source: str) -> None:
+    namespace = {"__name__": "__docfence__"}
+    exec(compile(source, "<doc fence>", "exec"), namespace)
+
+
+def main(argv) -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    files = [pathlib.Path(a).resolve() for a in argv] or \
+        [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+    failures = 0
+    executed = 0
+    for path in files:
+        if not path.is_file():
+            print(f"check_docs: missing file {path}", file=sys.stderr)
+            failures += 1
+            continue
+        try:
+            label = path.relative_to(REPO)
+        except ValueError:   # file outside the repo: show it verbatim
+            label = path
+        for line, language, source in extract_fences(path):
+            where = f"{label}:{line}"
+            if language != "python":
+                print(f"  skip       {where} ({language})")
+                continue
+            try:
+                run_python_fence(source)
+            except Exception:
+                failures += 1
+                print(f"  FAIL       {where}")
+                traceback.print_exc()
+            else:
+                executed += 1
+                print(f"  ok         {where}")
+    print(f"check_docs: {executed} python fence(s) executed, "
+          f"{failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -13,13 +13,21 @@ The package implements the paper's full pipeline:
 * :mod:`repro.optim` — the model-level optimization framework (the paper's
   contribution): selectable behaviour-preserving model transformations;
 * :mod:`repro.cpp` — a C++ subset AST with pretty printer;
-* :mod:`repro.codegen` — the three code-generation patterns studied in the
-  paper (Nested Switch, State Pattern, State Transition Table);
+* :mod:`repro.codegen` — the three code-generation patterns studied in
+  the paper (Nested Switch, State Pattern, State Transition Table) plus
+  the flattened-switch hybrid;
 * :mod:`repro.compiler` — "MGCC", a GCC-shaped optimizing compiler:
   GIMPLE IR, SSA, classic optimizations, RTL lowering, register
-  allocation and an RT32 backend with byte-accurate size accounting;
+  allocation, and pluggable targets (``rt32``, ``rt16``) with
+  byte-accurate size accounting;
+* :mod:`repro.vm` — an RT ISA simulator that assembles and *executes*
+  the compiler's output, checks it trace-for-trace against the
+  interpreter, and counts deterministic cycles;
+* :mod:`repro.engine` — content-addressed compile cache, batch planner
+  and worker pool behind every experiment;
 * :mod:`repro.experiments` — harnesses regenerating the paper's Figure 1,
-  Table 1 and Table 2, plus parameter sweeps.
+  Table 1 and Table 2, plus parameter sweeps and the simulated dynamics
+  table.
 
 Quickstart::
 

@@ -1,4 +1,14 @@
-"""Model analyses: reachability, completion shadowing, dead code, metrics."""
+"""Model analyses: reachability, completion shadowing, dead code, metrics.
+
+Pure, side-effect-free queries over a :class:`~repro.uml.StateMachine`
+that the optimizer's passes and the experiment harnesses build on.
+Main public names: :func:`find_dead_code` (-> :class:`DeadCodeReport`
+of unreachable states and shadowed transitions),
+:func:`analyze_completion` / :func:`is_always_completing`,
+:func:`analyze_reachability` (-> :class:`ReachabilityInfo`), and
+:func:`measure_model` (-> :class:`ModelMetrics` state/transition
+counts).
+"""
 
 from .completion import CompletionInfo, analyze_completion, is_always_completing
 from .deadcode import (DeadCodeReport, DeadReason, DeadState, DeadTransition,

@@ -1,5 +1,18 @@
 """Code generators: the paper's three implementation patterns, plus the
-flattened-switch hybrid."""
+flattened-switch hybrid.
+
+Each pattern is a :class:`CodeGenerator` producing a
+:class:`repro.cpp.ast.TranslationUnit` for the same machine under the
+same fixed execution semantics.  Main public names:
+:func:`generator_by_name` (``"state-table"``, ``"nested-switch"``,
+``"state-pattern"``, ``"flat-switch"``), the generator classes
+themselves, :data:`ALL_GENERATORS` (the paper's three, Table 1 order) /
+:data:`ALL_PATTERNS` (all four), the flattening relation
+(:func:`flatten_machine` -> :class:`FlatMachine`), and — in
+:mod:`.harness` — :class:`~.harness.GeneratedMachine`, which runs
+generated code on the GIMPLE interpreter (the instruction-level
+counterpart is :mod:`repro.vm`).
+"""
 
 from typing import List, Type
 

@@ -6,6 +6,13 @@ selection (jump-table/compare-chain switch lowering) -> linear-scan
 register allocation -> peephole -> assembly with byte-accurate size
 accounting for any registered target (``rt32`` by default, compact
 ``rt16`` built in; see :mod:`repro.compiler.target`).
+
+Main public names: :func:`compile_unit` / :func:`compile_program`
+(drive the pipeline at an :class:`OptLevel`, returning a
+:class:`CompileResult` around an :class:`AsmModule`),
+:func:`lower_unit` / :func:`mangle` / :class:`ClassLayout` (frontend),
+and the target registry re-exports (:class:`TargetDescription`,
+:func:`get_target`, :func:`resolve_target`, :func:`available_targets`).
 """
 
 from .asm import AsmModule

@@ -1,0 +1,8 @@
+"""MGCC frontend: C++ subset AST -> GIMPLE.
+
+Main public names (in :mod:`.lower`): :func:`~.lower.lower_unit` (whole
+translation unit to a :class:`~repro.compiler.gimple.ir.Program`),
+:func:`~.lower.mangle` (``Class::method`` symbol names), and
+:class:`~.lower.ClassLayout` (field offsets, object size, vtable slots —
+also used by the execution harnesses to locate object fields in memory).
+"""

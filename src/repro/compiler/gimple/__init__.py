@@ -1,0 +1,14 @@
+"""GIMPLE: MGCC's mid-level IR and its execution substrate.
+
+Modules and main public names:
+
+* :mod:`.ir` — :class:`Program`, :class:`GimpleFunction`,
+  :class:`BasicBlock`, instructions/terminators, :class:`DataObject`;
+* :mod:`.cfg` — successor/predecessor maps,
+  :func:`remove_unreachable_blocks`;
+* :mod:`.dom` — dominator tree and frontiers for SSA construction;
+* :mod:`.ssa` — :func:`to_ssa` / :func:`from_ssa` / :func:`verify_ssa`;
+* :mod:`.interp` — :class:`GimpleInterpreter`, the mid-level "board"
+  that differentially tests generated code against the model (the
+  instruction-level analogue lives in :mod:`repro.vm`).
+"""

@@ -1,0 +1,9 @@
+"""MGCC middle-end optimization passes over GIMPLE/SSA.
+
+One module per classic pass, each exposing a ``run_*`` entry point the
+driver sequences by optimization level: :func:`~.ccp.run_ccp`
+(conditional constant propagation), :func:`~.cse.run_cse`,
+:func:`~.copyprop.run_copyprop`, :func:`~.dce.run_dce`,
+:func:`~.simplify_cfg.run_simplify_cfg`, and :func:`~.inline.run_inline`
+with its size/speed :class:`~.inline.InlinePolicy`.
+"""

@@ -1,0 +1,14 @@
+"""RTL: MGCC's target-level IR and backend passes.
+
+Modules and main public names:
+
+* :mod:`.ir` — :class:`RInstr`, :class:`RTLFunction`, :func:`label`,
+  :func:`is_branch`;
+* :mod:`.isel` — :func:`select_function` (GIMPLE -> RTL) and
+  :class:`SwitchLowering` (jump table vs. compare chain, costed per
+  target);
+* :mod:`.regalloc` — :func:`allocate_registers` (linear scan with
+  spilling onto the target's register file);
+* :mod:`.peephole` — :func:`fuse_compare_branches`,
+  :func:`run_peephole`.
+"""

@@ -1,4 +1,14 @@
-"""C++ subset: AST, type system, pretty printer."""
+"""C++ subset: AST, type system, pretty printer.
+
+The hand-off format between code generation and the MGCC frontend: the
+generators build a :class:`~.ast.TranslationUnit` (classes, enums,
+globals, ``extern "C"`` declarations), the frontend lowers it, and
+:func:`print_unit` renders human-readable source for inspection and
+golden tests.  Main public names: :mod:`.ast` (node classes),
+:func:`print_unit` / :func:`print_stmt` / :func:`print_expr`, and the
+type constructors (:data:`INT`, :data:`BOOL`, :class:`PointerType`,
+:class:`ClassRefType`, :class:`ArrayType`, :class:`FuncPtrType`).
+"""
 
 from . import ast
 from .printer import print_expr, print_stmt, print_unit

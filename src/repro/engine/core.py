@@ -39,7 +39,8 @@ from ..optim.equivalence import EquivalenceReport
 from ..semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
 from ..uml.statemachine import StateMachine
 from .cache import CacheStats, CompileCache
-from .fingerprint import (compile_fingerprint, equivalence_fingerprint,
+from .fingerprint import (compile_fingerprint, conformance_fingerprint,
+                          equivalence_fingerprint, machine_fingerprint,
                           optimize_fingerprint)
 from .jobs import BatchPlan, CompareJob, CompileJob, plan_batch
 
@@ -102,6 +103,48 @@ class ExperimentEngine:
         return self.cache.get_or_compute(
             key, lambda: check_equivalence(original, optimized,
                                            semantics=semantics))
+
+    def vm_conformance(self, machine: StateMachine,
+                       pattern: str = "nested-switch",
+                       level: OptLevel = OptLevel.OS,
+                       target: Union[TargetDescription, str, None] = None,
+                       semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS,
+                       scenario_machine: Optional[StateMachine] = None,
+                       exhaustive_depth: int = 2, n_random: int = 8,
+                       random_length: int = 10, seed: int = 0xFACE):
+        """Cached VM conformance check + dynamic metrics
+        (:func:`repro.vm.check_vm_conformance`).
+
+        One cached run serves both consumers: the conformance verdict
+        and the simulated cycles/event that the dynamics experiments
+        report.  ``scenario_machine`` selects whose alphabet generates
+        the scenario set (default: *machine* itself) — pass the
+        original machine when measuring its optimized clone, so both
+        sides of a before/after comparison replay the *same* event
+        sequences (the optimized machine must ignore events it
+        dropped, exactly as :meth:`equivalence` exercises).
+        """
+        from ..vm.conformance import (check_vm_conformance,
+                                      conformance_scenarios)
+        source = scenario_machine if scenario_machine is not None \
+            else machine
+        params = {"exhaustive_depth": exhaustive_depth,
+                  "n_random": n_random, "random_length": random_length,
+                  "seed": seed,
+                  "scenario_machine": machine_fingerprint(source)}
+        key = conformance_fingerprint(machine, pattern, level, target,
+                                      semantics, params)
+
+        def compute():
+            scenarios = conformance_scenarios(
+                source, exhaustive_depth=exhaustive_depth,
+                n_random=n_random, random_length=random_length, seed=seed)
+            return check_vm_conformance(machine, pattern=pattern,
+                                        level=level, target=target,
+                                        semantics=semantics,
+                                        scenarios=scenarios)
+
+        return self.cache.get_or_compute(key, compute)
 
     # -- pipeline-level operations ------------------------------------------
 

@@ -33,7 +33,7 @@ from ..uml.statemachine import StateMachine
 
 __all__ = ["machine_fingerprint", "semantics_key", "target_key",
            "compile_fingerprint", "optimize_fingerprint",
-           "equivalence_fingerprint"]
+           "equivalence_fingerprint", "conformance_fingerprint"]
 
 
 #: Per-object memo so repeated lookups of the same machine (the engine
@@ -115,3 +115,22 @@ def equivalence_fingerprint(original: StateMachine,
     """Key of one behavioral-equivalence check."""
     return _digest("equivalence", machine_fingerprint(original),
                    machine_fingerprint(optimized), semantics_key(semantics))
+
+
+def conformance_fingerprint(machine: StateMachine, pattern: str,
+                            level: OptLevel,
+                            target: Union[TargetDescription, str, None],
+                            semantics: SemanticsConfig =
+                            UML_DEFAULT_SEMANTICS,
+                            scenario_params: Optional[dict] = None) -> str:
+    """Key of one VM conformance run (interpreter vs. executed code).
+
+    ``scenario_params`` are the :func:`repro.vm.conformance_scenarios`
+    knobs — the scenario set is a deterministic function of the machine
+    alphabet and these parameters, so they key the cache entry.
+    """
+    params_key = json.dumps(scenario_params or {}, sort_keys=True,
+                            separators=(",", ":"))
+    return _digest("vm-conformance", machine_fingerprint(machine), pattern,
+                   level.value, target_key(target),
+                   semantics_key(semantics), params_key)

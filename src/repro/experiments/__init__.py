@@ -1,4 +1,15 @@
-"""Experiment harnesses regenerating the paper's tables and figures."""
+"""Experiment harnesses regenerating the paper's tables and figures.
+
+One module per artifact, each with a ``main(target=..., engine=...)``
+that renders the table the CLI prints: :mod:`.figure1`, :mod:`.table1`,
+:mod:`.table2`, :mod:`.sweeps` (the size side), and :mod:`.dynamics`
+(simulated cycles/event and peak dispatch latency on the
+:mod:`repro.vm` simulator, with conformance verdicts).  :mod:`.models`
+holds the paper's Figure 1 machines (re-exported here);
+:mod:`.workload` generates seeded machines with controlled dead
+structure; :mod:`.report` renders the ASCII tables.  Run everything
+with ``python -m repro.experiments``.
+"""
 
 from .models import (flat_machine_with_unreachable_state,
                      flat_machine_optimized_by_hand,

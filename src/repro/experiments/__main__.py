@@ -21,7 +21,7 @@ from typing import List, Optional
 from ..compiler.target import (UnknownTargetError, available_targets,
                                get_target)
 from ..engine import ExperimentEngine
-from . import figure1, sweeps, table1, table2
+from . import dynamics, figure1, sweeps, table1, table2
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -54,7 +54,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     engine = ExperimentEngine(jobs=args.jobs)
     for title, module in (("FIGURE 1", figure1), ("TABLE 1", table1),
-                          ("TABLE 2", table2), ("SWEEPS", sweeps)):
+                          ("TABLE 2", table2), ("SWEEPS", sweeps),
+                          ("DYNAMICS", dynamics)):
         print("#" * 72)
         print(f"# {title}  (target: {target.name})")
         print("#" * 72)

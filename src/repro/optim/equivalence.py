@@ -13,6 +13,16 @@ point of removing dead states).
 This is a bounded check, not a proof; with exhaustive depth-k scenarios
 it is exact for machines whose guards only depend on event history, which
 covers every model in the paper and the generated workloads.
+
+Two behaviour-preservation questions live here:
+
+* **model vs. model** (:func:`check_equivalence`) — did a model
+  optimization change observable behavior?
+* **model vs. compiled code** (:func:`check_codegen_conformance`) — does
+  the generated code, compiled to a target and *executed on the ISA
+  simulator*, behave like the reference interpreter?  This delegates to
+  :mod:`repro.vm.conformance` and extends the refactoring guarantee down
+  through the whole toolchain.
 """
 
 from __future__ import annotations
@@ -27,7 +37,8 @@ from ..semantics.trace import observable_equal
 from ..semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
 from ..uml.statemachine import StateMachine
 
-__all__ = ["EquivalenceReport", "check_equivalence", "make_scenarios"]
+__all__ = ["EquivalenceReport", "check_equivalence", "make_scenarios",
+           "check_codegen_conformance"]
 
 
 @dataclass
@@ -105,3 +116,27 @@ def check_equivalence(original: StateMachine, optimized: StateMachine,
             report.mismatches.append((tuple(events),
                                       "termination status mismatch"))
     return report
+
+
+def check_codegen_conformance(machine: StateMachine,
+                              pattern: str = "nested-switch",
+                              level=None, target=None,
+                              semantics: SemanticsConfig =
+                              UML_DEFAULT_SEMANTICS,
+                              scenarios: Optional[Sequence[Tuple[str, ...]]]
+                              = None):
+    """Check that *machine*'s generated+compiled code, executed on the
+    ISA simulator, is observationally equivalent to the interpreter.
+
+    Thin entry point over :func:`repro.vm.check_vm_conformance` (the
+    import is deferred so the optimizer does not pull in the compiler
+    stack unless conformance is actually requested).  *level* defaults
+    to ``-Os``, the paper's measurement level.  Returns a
+    :class:`repro.vm.ConformanceReport`.
+    """
+    from ..compiler.driver import OptLevel
+    from ..vm.conformance import check_vm_conformance
+    return check_vm_conformance(
+        machine, pattern=pattern,
+        level=OptLevel.OS if level is None else level,
+        target=target, semantics=semantics, scenarios=scenarios)

@@ -1,4 +1,15 @@
-"""Executable semantics: variation points, interpreter, traces."""
+"""Executable semantics: variation points, interpreter, traces.
+
+The reference behavior every implementation is judged against.  Main
+public names: :class:`MachineInstance` / :func:`run_scenario` (the
+run-to-completion interpreter), :class:`SemanticsConfig` and its
+variation-point enums (:class:`EventPoolPolicy`,
+:class:`UnconsumedPolicy`, :class:`ConflictPolicy`) with
+:data:`UML_DEFAULT_SEMANTICS`, and :class:`Trace` /
+:class:`TraceRecord` / :class:`TraceKind` / :func:`observable_equal` —
+the observable-trace equality that defines behavioral equivalence for
+:mod:`repro.optim` and :mod:`repro.vm` alike.
+"""
 
 from .runtime import ExecutionError, MachineInstance, run_scenario
 from .trace import Trace, TraceKind, TraceRecord, observable_equal

@@ -16,8 +16,14 @@ Checked constraints:
 * choice/junction pseudostates have at least one outgoing transition;
 * names of sibling vertices are unique (needed by code generation);
 * guard expressions only reference declared context attributes;
-* behaviors only call declared context operations (auto-declared by the
-  builder is allowed; this check catches hand-built models).
+* behaviors only reference declared context attributes.
+
+Validation also *normalizes* the context: every external operation
+called anywhere — call statements, assign values, guard expressions —
+is auto-declared on the context class, so code generation can emit one
+``extern`` declaration per call target without a separate collection
+pass (an undeclared call would lower with no return slot and compile
+to the constant 0).
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List
 
-from .actions import CallExpr, CallStmt, VarRef, Behavior
+from .actions import CallExpr, VarRef, Behavior
 from .elements import ModelError
 from .statemachine import (FinalState, Pseudostate, PseudostateKind, Region,
                            State, StateMachine, Vertex)
@@ -165,12 +171,13 @@ def _iter_behaviors(machine: StateMachine) -> Iterator[Behavior]:
 
 def _check_behaviors(machine: StateMachine) -> Iterator[ValidationIssue]:
     attrs = set(machine.context.attributes)
-    ops = set(machine.context.operations)
 
     for tr in machine.all_transitions():
         if tr.guard is None:
             continue
         for node in tr.guard.walk():
+            if isinstance(node, CallExpr):
+                machine.context.operation(node.func)
             if isinstance(node, VarRef) and node.name not in attrs:
                 yield ValidationIssue(
                     "GD001", f"guard references undeclared attribute "
@@ -179,14 +186,19 @@ def _check_behaviors(machine: StateMachine) -> Iterator[ValidationIssue]:
 
     for behavior in _iter_behaviors(machine):
         for stmt in behavior.statements:
-            if isinstance(stmt, CallStmt) and stmt.call.func not in ops:
-                # Called operations are auto-declared: validation
-                # normalizes the context's operation list so code
-                # generation can emit one extern declaration per call
-                # target without a separate collection pass.
-                machine.context.operation(stmt.call.func)
             for expr in stmt.expressions():
                 for node in expr.walk():
+                    if isinstance(node, CallExpr):
+                        # Called operations are auto-declared — from call
+                        # statements AND calls nested in assign values or
+                        # guards: validation normalizes the context's
+                        # operation list so code generation emits one
+                        # ``extern`` (int-returning) per call target.  An
+                        # undeclared call would otherwise lower with no
+                        # return slot and compile to the constant 0 while
+                        # the interpreter evaluates it — a model-vs-code
+                        # divergence the VM conformance suite catches.
+                        machine.context.operation(node.func)
                     if isinstance(node, VarRef) and node.name not in attrs:
                         yield ValidationIssue(
                             "BH001", f"behavior references undeclared "

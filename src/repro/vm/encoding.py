@@ -1,0 +1,177 @@
+"""Instruction codec: RTL <-> bytes, driven by a TargetDescription.
+
+The assembler and the simulator must agree on what every byte means, and
+both must agree with the size accounting the experiments report.  This
+module derives everything from the target's
+:class:`~repro.compiler.target.description.TargetDescription` — no
+parallel opcode table exists to drift out of sync:
+
+* **opcode numbers** are the mnemonic's index in the sorted key list of
+  ``insn_sizes`` (``label`` is a pseudo-op and is never encoded);
+* **instruction length** is exactly ``insn_sizes[op]`` bytes, so the
+  encoded text of a function occupies precisely
+  :attr:`RTLFunction.text_size` bytes and every label gets a real
+  address;
+* **register numbers** are positions in ``allocatable_regs`` +
+  ``scratch_regs`` + ``(sp, lr)``.
+
+Operand encoding follows the literal-pool/constant-pool tradition of
+compact ISAs and bytecode VMs (Thumb literal pools, Python's
+``co_consts``): byte 0 of every instruction is the opcode, and the
+remaining payload bytes hold a little-endian index into a per-function,
+per-mnemonic **operand pool** interning the instruction's canonical
+operand tuple (registers, immediate, symbol, branch target, jump
+table).  This keeps the stream byte-exact per the target's declared
+encodings — the property the paper's size numbers rest on — without
+pretending a 16-bit slot can hold a three-operand add with an 8-bit
+immediate at bit level.  The payload width bounds the pool: a 2-byte
+rt16 instruction can name 256 distinct operand tuples of its mnemonic
+per function, far beyond what any generated machine reaches; exceeding
+it raises :class:`EncodingError` rather than silently widening.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..compiler.rtl.ir import RInstr
+from ..compiler.target.description import TargetDescription
+
+__all__ = ["EncodingError", "OperandPool", "TargetEncoding",
+           "operand_key"]
+
+
+class EncodingError(Exception):
+    """Raised when an instruction cannot be encoded for a target."""
+
+
+#: Canonical operand tuple of an instruction (everything but the
+#: mnemonic and the comment; comments are listing sugar, not semantics).
+OperandKey = Tuple[Tuple[str, ...], Tuple[str, ...], Optional[int],
+                   Optional[str], Optional[str],
+                   Optional[Tuple[str, ...]]]
+
+
+def operand_key(instr: RInstr) -> OperandKey:
+    """The semantic payload of *instr* (drops the comment)."""
+    return (tuple(instr.defs), tuple(instr.uses), instr.imm,
+            instr.symbol, instr.target,
+            tuple(instr.table) if instr.table is not None else None)
+
+
+class OperandPool:
+    """Per-function operand pool: one interning table per mnemonic."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, List[OperandKey]] = {}
+        self._index: Dict[Tuple[str, OperandKey], int] = {}
+
+    def intern(self, op: str, key: OperandKey, max_entries: int,
+               context: str = "") -> int:
+        """Index of *key* in the mnemonic's table, adding it if new."""
+        probe = self._index.get((op, key))
+        if probe is not None:
+            return probe
+        table = self._entries.setdefault(op, [])
+        if len(table) >= max_entries:
+            raise EncodingError(
+                f"{context}: operand pool overflow for {op!r} "
+                f"({max_entries} entries fit the payload width)")
+        index = len(table)
+        table.append(key)
+        self._index[(op, key)] = index
+        return index
+
+    def lookup(self, op: str, index: int) -> OperandKey:
+        try:
+            return self._entries[op][index]
+        except (KeyError, IndexError):
+            raise EncodingError(
+                f"no pool entry {index} for mnemonic {op!r}") from None
+
+    def entries(self, op: str) -> List[OperandKey]:
+        return list(self._entries.get(op, []))
+
+
+class TargetEncoding:
+    """The byte-level view of one target's ISA."""
+
+    def __init__(self, target: TargetDescription) -> None:
+        self.target = target
+        self.mnemonics: Tuple[str, ...] = tuple(
+            op for op in sorted(target.insn_sizes) if op != "label")
+        if len(self.mnemonics) > 256:
+            raise EncodingError(
+                f"{target.name}: {len(self.mnemonics)} mnemonics exceed "
+                "the one-byte opcode space")
+        self.opcode_of: Dict[str, int] = {
+            op: i for i, op in enumerate(self.mnemonics)}
+        self.reg_names: Tuple[str, ...] = (
+            tuple(target.allocatable_regs) + tuple(target.scratch_regs)
+            + ("sp", "lr"))
+        self.reg_num: Dict[str, int] = {
+            name: i for i, name in enumerate(self.reg_names)}
+
+    # -- sizing ------------------------------------------------------------
+    def size_of(self, op: str) -> int:
+        try:
+            size = self.target.insn_sizes[op]
+        except KeyError:
+            raise EncodingError(
+                f"{self.target.name} does not encode {op!r}") from None
+        if op != "label" and size < 2:
+            raise EncodingError(
+                f"{self.target.name}: {op!r} is {size} byte(s); the codec "
+                "needs an opcode byte plus at least one payload byte")
+        return size
+
+    def pool_capacity(self, op: str) -> int:
+        """Distinct operand tuples the payload width can index."""
+        return 1 << (8 * (self.size_of(op) - 1))
+
+    # -- encode ------------------------------------------------------------
+    def encode(self, instr: RInstr, pool: OperandPool,
+               context: str = "") -> bytes:
+        """Encode one instruction; interns its operands into *pool*."""
+        if instr.op == "label":
+            return b""
+        opcode = self.opcode_of.get(instr.op)
+        if opcode is None:
+            raise EncodingError(
+                f"{context}: {self.target.name} does not encode "
+                f"{instr.op!r}")
+        for reg in tuple(instr.defs) + tuple(instr.uses):
+            if reg not in self.reg_num:
+                raise EncodingError(
+                    f"{context}: register {reg!r} is not in the "
+                    f"{self.target.name} register file (virtual register "
+                    "reached the assembler?)")
+        size = self.size_of(instr.op)
+        index = pool.intern(instr.op, operand_key(instr),
+                            self.pool_capacity(instr.op), context)
+        return bytes([opcode]) + index.to_bytes(size - 1, "little")
+
+    # -- decode ------------------------------------------------------------
+    def decode(self, data: bytes, offset: int,
+               pool: OperandPool) -> Tuple[RInstr, int]:
+        """Decode the instruction at *offset*; returns (instr, size)."""
+        try:
+            opcode = data[offset]
+        except IndexError:
+            raise EncodingError(f"decode past end of text at +{offset}") \
+                from None
+        try:
+            op = self.mnemonics[opcode]
+        except IndexError:
+            raise EncodingError(f"unknown opcode {opcode} at +{offset}") \
+                from None
+        size = self.size_of(op)
+        payload = data[offset + 1:offset + size]
+        if len(payload) != size - 1:
+            raise EncodingError(
+                f"truncated {op!r} at +{offset}: {len(payload)} payload "
+                f"byte(s), expected {size - 1}")
+        index = int.from_bytes(payload, "little")
+        defs, uses, imm, symbol, target, table = pool.lookup(op, index)
+        return (RInstr(op, defs=defs, uses=uses, imm=imm, symbol=symbol,
+                       target=target, table=table), size)

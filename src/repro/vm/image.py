@@ -1,0 +1,158 @@
+"""Assembling and loading: AsmModule -> executable memory image.
+
+``assemble`` is the reproduction's assembler+linker: it lays the
+module's functions out in one text segment (every instruction at the
+byte address the target's ``insn_sizes`` dictate, labels at size-0
+addresses), encodes each instruction through the target's
+:class:`~.encoding.TargetEncoding`, places the data objects in a data
+segment, and resolves every symbol — function entries, globals, and the
+``fn:block`` references jump tables carry — to a concrete address.
+
+The :class:`Image` then *decodes its own bytes back* into the
+instruction map the simulator executes: what runs is what was encoded,
+so the encoder and decoder cannot drift apart without execution
+noticing.  ``len(image.text) == module.text_size`` by construction —
+the byte count the experiments report is the byte count the simulator
+addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..compiler.asm import AsmModule
+from ..compiler.gimple.ir import SymbolRef
+from ..compiler.rtl.ir import RInstr
+from ..compiler.target.description import TargetDescription
+from ..compiler.target.registry import resolve_target
+from .encoding import EncodingError, OperandPool, TargetEncoding
+
+__all__ = ["Image", "assemble", "TEXT_BASE", "DATA_BASE", "STACK_BASE",
+           "HALT_ADDRESS"]
+
+#: Segment bases.  Text sits low (function entry addresses double as
+#: call targets), data high, the stack at the top growing down.
+TEXT_BASE = 0x0000_1000
+DATA_BASE = 0x1000_0000
+STACK_BASE = 0x3000_0000
+#: Return address of the outermost frame; ``ret`` to it halts the run.
+HALT_ADDRESS = 0x0
+
+
+@dataclass
+class Image:
+    """One loaded module: encoded text + placed data + symbol tables."""
+
+    module: AsmModule
+    target: TargetDescription
+    encoding: TargetEncoding
+    text: bytes = b""
+    func_entry: Dict[str, int] = field(default_factory=dict)
+    entry_func: Dict[int, str] = field(default_factory=dict)
+    label_addr: Dict[str, int] = field(default_factory=dict)
+    data_addr: Dict[str, int] = field(default_factory=dict)
+    data_word_size: Dict[str, int] = field(default_factory=dict)
+    initial_memory: Dict[int, int] = field(default_factory=dict)
+    pools: Dict[str, OperandPool] = field(default_factory=dict)
+    #: pc -> (decoded instruction, encoded size, owning function)
+    instructions: Dict[int, Tuple[RInstr, int, str]] = \
+        field(default_factory=dict)
+
+    # -- symbols -----------------------------------------------------------
+    def address_of(self, symbol: str) -> int:
+        """Address of a data object, function, or ``fn:block`` label."""
+        if symbol in self.data_addr:
+            return self.data_addr[symbol]
+        if symbol in self.func_entry:
+            return self.func_entry[symbol]
+        if ":" in symbol and not symbol.startswith("."):
+            fn_name, _, block = symbol.rpartition(":")
+            qualified = f".{fn_name}.{block}"
+            if qualified in self.label_addr:
+                return self.label_addr[qualified]
+        if symbol in self.label_addr:
+            return self.label_addr[symbol]
+        raise EncodingError(f"unresolved symbol {symbol!r}")
+
+    def at(self, pc: int) -> Tuple[RInstr, int, str]:
+        """Decoded instruction at *pc* (instr, size, function name)."""
+        try:
+            return self.instructions[pc]
+        except KeyError:
+            raise EncodingError(
+                f"no instruction at {pc:#x} (fell off the text "
+                "segment?)") from None
+
+
+def assemble(module: AsmModule, target=None) -> Image:
+    """Assemble *module* into an executable :class:`Image`.
+
+    *target* (a description, a registered name, or None) defaults to
+    the module's own target (which every driver compile sets); passing
+    a *different* one is an error waiting to happen and therefore
+    rejected.
+    """
+    tgt = module.target if module.target is not None \
+        else resolve_target(target)
+    if target is not None and resolve_target(target).name != tgt.name:
+        raise EncodingError(
+            f"module {module.name!r} was compiled for {tgt.name}; "
+            f"refusing to assemble it as {resolve_target(target).name}")
+    encoding = TargetEncoding(tgt)
+    image = Image(module=module, target=tgt, encoding=encoding)
+
+    # Pass 1: layout — assign every instruction and label its address.
+    addr = TEXT_BASE
+    placed: List[Tuple[str, int, RInstr]] = []   # (fn, addr, instr)
+    for fn in module.functions:
+        image.func_entry[fn.name] = addr
+        image.entry_func[addr] = fn.name
+        for instr in fn.instrs:
+            if instr.op == "label":
+                image.label_addr[instr.target] = addr
+                continue
+            placed.append((fn.name, addr, instr))
+            addr += encoding.size_of(instr.op)
+
+    # Pass 2: encode.  The pool is per function, like a literal pool.
+    chunks: List[bytes] = []
+    for fn_name, at, instr in placed:
+        pool = image.pools.setdefault(fn_name, OperandPool())
+        chunk = encoding.encode(instr, pool,
+                                context=f"{fn_name}+{at - TEXT_BASE:#x}")
+        chunks.append(chunk)
+    image.text = b"".join(chunks)
+    if len(image.text) != module.text_size:
+        raise EncodingError(
+            f"assembler laid out {len(image.text)} text bytes but the "
+            f"module accounts {module.text_size} — size model broken")
+
+    # Pass 3: place data (one guard word between objects, as the GIMPLE
+    # interpreter does) and resolve initializer symbols.
+    daddr = DATA_BASE
+    for obj in module.data_objects:
+        image.data_addr[obj.name] = daddr
+        image.data_word_size[obj.name] = obj.word_size
+        daddr += max(obj.size, 4) + 4
+    for obj in module.data_objects:
+        base = image.data_addr[obj.name]
+        for i, word in enumerate(obj.words):
+            value = image.address_of(word.symbol) \
+                if isinstance(word, SymbolRef) else int(word)
+            image.initial_memory[base + obj.word_size * i] = value
+
+    # Pass 4: decode the bytes back into the executable instruction map.
+    # Execution consumes only this decoded view, so any encoder/decoder
+    # disagreement is caught here, not in a conformance mismatch later.
+    for fn_name, at, original in placed:
+        offset = at - TEXT_BASE
+        decoded, size = encoding.decode(image.text, offset,
+                                        image.pools[fn_name])
+        if size != encoding.size_of(original.op) or \
+                decoded.op != original.op:
+            raise EncodingError(
+                f"{fn_name}+{offset:#x}: decoded {decoded.op!r}/{size}B, "
+                f"encoded {original.op!r}")
+        image.instructions[at] = (decoded, size, fn_name)
+    return image
