@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Execute the documentation's Python code fences.
+"""Execute the documentation's Python code fences and example scripts.
 
 Docs that show code which no longer runs are worse than no docs, so CI
 executes every ```python fence in README.md and docs/*.md in a fresh
@@ -8,15 +8,22 @@ including failing ``assert``s, which the fences use to state their
 expected results.  Fences in other languages (bash, text) are listed
 but not executed.
 
+In default mode (no file arguments) every script under ``examples/``
+is also executed in a subprocess and must exit 0 with some output —
+the examples are documentation too.
+
 Usage::
 
-    python scripts/check_docs.py [FILE.md ...]   # default: README + docs/
+    python scripts/check_docs.py [FILE.md ...]   # default: README +
+                                                 # docs/ + examples/
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 import re
+import subprocess
 import sys
 import traceback
 
@@ -50,8 +57,26 @@ def run_python_fence(source: str) -> None:
     exec(compile(source, "<doc fence>", "exec"), namespace)
 
 
+def run_example(path: pathlib.Path) -> str:
+    """Execute one example script; raises on failure, returns stdout."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO / "src")] + ([env["PYTHONPATH"]]
+                               if env.get("PYTHONPATH") else []))
+    proc = subprocess.run([sys.executable, str(path)], env=env,
+                          capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{path.name} exited {proc.returncode}:\n"
+            f"{proc.stderr[-2000:]}")
+    if not proc.stdout.strip():
+        raise RuntimeError(f"{path.name} produced no output")
+    return proc.stdout
+
+
 def main(argv) -> int:
     sys.path.insert(0, str(REPO / "src"))
+    examples = [] if argv else sorted((REPO / "examples").glob("*.py"))
     files = [pathlib.Path(a).resolve() for a in argv] or \
         [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
     failures = 0
@@ -79,7 +104,18 @@ def main(argv) -> int:
             else:
                 executed += 1
                 print(f"  ok         {where}")
-    print(f"check_docs: {executed} python fence(s) executed, "
+    for script in examples:
+        where = script.relative_to(REPO)
+        try:
+            run_example(script)
+        except Exception as exc:
+            failures += 1
+            print(f"  FAIL       {where}")
+            print(f"             {exc}")
+        else:
+            executed += 1
+            print(f"  ok         {where}")
+    print(f"check_docs: {executed} python fence(s)/example(s) executed, "
           f"{failures} failure(s)")
     return 1 if failures else 0
 

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Guard the persistent-cache contract of ``--cache-dir``.
+
+Runs the full experiments CLI twice against one shared cache
+directory and asserts the acceptance criteria of the store layer:
+
+* the two runs' stdout is **byte-identical** (disk-served artifacts
+  change nothing about the tables);
+* the second (warm) run does **no recompute** worth speaking of and is
+  served from disk: >= 90 % of its first-touch lookups (unique jobs)
+  are disk hits.
+
+The first run may itself be warm — CI restores the cache directory
+across workflow runs — so the assertions only constrain the *second*
+run: ``disk_hits / (disk_hits + misses)`` is the fraction of unique
+work served without compilation, independent of how the store got
+populated.  When the restored store was written by an older schema
+generation every key misses, the cold run repopulates, and the warm
+run still passes — exactly the self-invalidation the store promises.
+
+Usage::
+
+    python scripts/check_warm_cache.py [--cache-dir DIR] [--target NAME]
+                                       [--threshold 0.9]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: Subprocesses import `repro` like an installed package; keep src/ on
+#: PYTHONPATH so the script works without `pip install -e .`.
+_ENV = dict(os.environ)
+_ENV["PYTHONPATH"] = os.pathsep.join(
+    [str(REPO_ROOT / "src")] + ([_ENV["PYTHONPATH"]]
+                                if _ENV.get("PYTHONPATH") else []))
+
+_STATS = re.compile(r"cache: (?P<hits>\d+) hits \((?P<disk>\d+) disk\) / "
+                    r"(?P<misses>\d+) misses")
+
+
+def run_cli(cache_dir: str, target: str) -> tuple:
+    """One experiments-CLI run; returns (stdout_bytes, stats dict)."""
+    cmd = [sys.executable, "-m", "repro.experiments", "--target", target,
+           "--cache-dir", cache_dir, "--cache-stats"]
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, env=_ENV,
+                          capture_output=True)
+    if proc.returncode != 0:
+        sys.exit(f"experiments CLI failed (exit {proc.returncode}):\n"
+                 f"{proc.stderr.decode(errors='replace')[-2000:]}")
+    match = _STATS.search(proc.stderr.decode(errors="replace"))
+    if match is None:
+        sys.exit("could not find the cache-stats line on stderr")
+    stats = {name: int(value)
+             for name, value in match.groupdict().items()}
+    return proc.stdout, stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cache-dir", default=None,
+                        help="shared store directory (default: a "
+                             "temporary one)")
+    parser.add_argument("--target", default="rt32")
+    parser.add_argument("--threshold", type=float, default=0.9,
+                        help="minimum warm disk-hit fraction over unique "
+                             "work (default %(default)s)")
+    args = parser.parse_args(argv)
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-cache-")
+
+    cold_out, cold = run_cli(cache_dir, args.target)
+    warm_out, warm = run_cli(cache_dir, args.target)
+    print(f"check_warm_cache: cold run  {cold} ({len(cold_out)} stdout "
+          f"bytes)")
+    print(f"check_warm_cache: warm run  {warm} ({len(warm_out)} stdout "
+          f"bytes)")
+
+    failures = []
+    if warm_out != cold_out:
+        failures.append("warm stdout differs from cold stdout")
+    first_touch = warm["disk"] + warm["misses"]
+    ratio = warm["disk"] / first_touch if first_touch else 0.0
+    print(f"check_warm_cache: warm unique work {first_touch} jobs, "
+          f"{warm['disk']} from disk ({ratio:.1%})")
+    if ratio < args.threshold:
+        failures.append(f"warm disk-hit fraction {ratio:.1%} < "
+                        f"{args.threshold:.0%}")
+    if warm["misses"] > warm["hits"]:
+        failures.append("warm run recomputed more than it served")
+
+    if failures:
+        for failure in failures:
+            print(f"check_warm_cache: FAIL — {failure}", file=sys.stderr)
+        return 1
+    print("check_warm_cache: OK — warm rerun byte-identical and "
+          "disk-served")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

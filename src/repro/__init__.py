@@ -23,8 +23,16 @@ The package implements the paper's full pipeline:
 * :mod:`repro.vm` — an RT ISA simulator that assembles and *executes*
   the compiler's output, checks it trace-for-trace against the
   interpreter, and counts deterministic cycles;
-* :mod:`repro.engine` — content-addressed compile cache, batch planner
-  and worker pool behind every experiment;
+* :mod:`repro.engine` — content-addressed compile cache (pluggable
+  memory/disk/tiered backends), batch planner and worker pool behind
+  every experiment;
+* :mod:`repro.store` — persistent on-disk artifact store: sharded,
+  integrity-checked, LRU-collected entries keyed by engine
+  fingerprints, safe across processes;
+* :mod:`repro.service` — the batch compile service: an asyncio
+  JSON-lines server (unix socket / TCP) with request coalescing and
+  per-client stats, a blocking client, and the
+  ``python -m repro.service`` CLI;
 * :mod:`repro.experiments` — harnesses regenerating the paper's Figure 1,
   Table 1 and Table 2, plus parameter sweeps and the simulated dynamics
   table.

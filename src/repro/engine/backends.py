@@ -1,0 +1,211 @@
+"""Cache backends: where a :class:`~repro.engine.cache.CompileCache`
+keeps its completed values.
+
+The cache's job — in-flight deduplication, statistics, the
+``get_or_compute`` contract — is backend-independent; a
+:class:`CacheBackend` only answers "do you hold *key*, and where from?"
+Three implementations:
+
+* :class:`MemoryBackend` — a plain dict; the seed behavior.  Fast,
+  private to the process, gone at exit.
+* :class:`DiskBackend` — a :class:`repro.store.ArtifactStore`; values
+  survive the process and are shared by everything pointed at the same
+  directory.  Store-level failures (a read-only disk, an unpicklable
+  value) degrade to misses/skipped writes rather than failing the
+  compile.
+* :class:`TieredBackend` — memory over disk: reads probe memory first
+  and *promote* disk hits, writes go to both.  This is what
+  ``--cache-dir`` uses: hot keys at dict speed, cold starts served from
+  disk.
+
+``load`` returns ``(value, origin)`` — ``origin`` is the tier that
+served the hit (``"memory"`` or ``"disk"``), which is how
+:class:`~repro.engine.cache.CacheStats` attributes disk hits.
+
+Thread-safety contract: the owning cache's in-flight futures guarantee
+at most one ``load``/``store`` *per key* at a time, but calls for
+**distinct keys run concurrently** (backend I/O happens outside the
+cache lock).  Both implementations satisfy that: dict get/set are
+atomic in CPython, and :class:`~repro.store.ArtifactStore` is lockless
+multi-process-concurrent by design.  A custom backend with non-atomic
+internal bookkeeping must bring its own lock.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..store import ArtifactStore
+
+__all__ = ["CacheBackend", "MemoryBackend", "DiskBackend",
+           "TieredBackend", "backend_from_spec"]
+
+ORIGIN_MEMORY = "memory"
+ORIGIN_DISK = "disk"
+
+
+class CacheBackend:
+    """Value storage protocol behind :class:`CompileCache`."""
+
+    name = "abstract"
+
+    def load(self, key: str) -> Tuple[Any, str]:
+        """Return ``(value, origin)``; raise :class:`KeyError` on miss."""
+        raise KeyError(key)
+
+    def store(self, key: str, value: Any) -> None:
+        raise NotImplementedError
+
+    def __contains__(self, key: str) -> bool:
+        try:
+            self.load(key)
+        except KeyError:
+            return False
+        return True
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+
+class MemoryBackend(CacheBackend):
+    """In-process dict of values (the default)."""
+
+    name = ORIGIN_MEMORY
+
+    def __init__(self) -> None:
+        self._values: Dict[str, Any] = {}
+
+    def load(self, key: str) -> Tuple[Any, str]:
+        return self._values[key], ORIGIN_MEMORY
+
+    def store(self, key: str, value: Any) -> None:
+        self._values[key] = value
+
+    def store_if_absent(self, key: str, value: Any) -> bool:
+        """Atomically publish *value* unless *key* is already present;
+        True when this call did the publishing (``dict.setdefault`` is
+        atomic in CPython, so concurrent promoters agree on a single
+        winner)."""
+        return self._values.setdefault(key, value) is value
+
+    def keys(self) -> Tuple[str, ...]:
+        """Snapshot of the held keys (safe against concurrent stores)."""
+        return tuple(self._values)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def clear(self) -> None:
+        self._values.clear()
+
+
+class DiskBackend(CacheBackend):
+    """Values in a persistent :class:`~repro.store.ArtifactStore`.
+
+    Accepts a store or a directory path.  I/O and serialization
+    problems never propagate into the compile path: a failed read is a
+    miss, a failed write leaves the key uncached (counted on the
+    store's stats where applicable).
+    """
+
+    name = ORIGIN_DISK
+
+    def __init__(self, store: "Union[ArtifactStore, str]",
+                 max_bytes: Optional[int] = None) -> None:
+        if not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store, max_bytes=max_bytes)
+        self.store_dir = store
+
+    def load(self, key: str) -> Tuple[Any, str]:
+        return self.store_dir.load(key), ORIGIN_DISK
+
+    def store(self, key: str, value: Any) -> None:
+        try:
+            self.store_dir.put(key, value)
+        except (OSError, pickle.PickleError, TypeError, AttributeError):
+            pass                     # cache write failure != compile failure
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.store_dir
+
+    def __len__(self) -> int:
+        return len(self.store_dir)
+
+    def clear(self) -> None:
+        self.store_dir.clear()
+
+
+class TieredBackend(CacheBackend):
+    """Memory over disk: probe fast tier first, promote disk hits."""
+
+    name = "tiered"
+
+    def __init__(self, disk: "Union[DiskBackend, ArtifactStore, str]",
+                 memory: Optional[MemoryBackend] = None,
+                 max_bytes: Optional[int] = None) -> None:
+        if not isinstance(disk, DiskBackend):
+            disk = DiskBackend(disk, max_bytes=max_bytes)
+        self.memory = memory if memory is not None else MemoryBackend()
+        self.disk = disk
+
+    def load(self, key: str) -> Tuple[Any, str]:
+        try:
+            return self.memory.load(key)
+        except KeyError:
+            pass
+        value, _ = self.disk.load(key)
+        # Promote for repeat lookups.  Exactly one concurrent promoter
+        # of a key wins, and only the winner reports a disk-origin hit,
+        # so disk-hit counts stay deterministic under a worker pool;
+        # losers serve the promoted object like any later lookup.
+        if self.memory.store_if_absent(key, value):
+            return value, ORIGIN_DISK
+        return self.memory.load(key)
+
+    def store(self, key: str, value: Any) -> None:
+        self.memory.store(key, value)
+        self.disk.store(key, value)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.memory or key in self.disk
+
+    def __len__(self) -> int:
+        """Distinct keys across both tiers (memory is a disk subset in
+        normal use, but the tiers may be seeded independently)."""
+        extra = sum(1 for key in self.memory.keys()
+                    if key not in self.disk)
+        return len(self.disk) + extra
+
+    def clear(self) -> None:
+        self.memory.clear()
+        self.disk.clear()
+
+
+def backend_from_spec(spec: Optional[str] = None,
+                      cache_dir: Optional[str] = None,
+                      max_bytes: Optional[int] = None) -> CacheBackend:
+    """Build a backend from CLI-ish knobs.
+
+    *spec* is ``"memory"`` | ``"disk"`` | ``"tiered"`` (default:
+    ``"tiered"`` when *cache_dir* is given, else ``"memory"``).  The
+    disk-backed specs require *cache_dir*.
+    """
+    if spec is None:
+        spec = "tiered" if cache_dir else "memory"
+    if spec == "memory":
+        return MemoryBackend()
+    if spec in ("disk", "tiered"):
+        if not cache_dir:
+            raise ValueError(f"backend {spec!r} needs a cache directory")
+        if spec == "disk":
+            return DiskBackend(cache_dir, max_bytes=max_bytes)
+        return TieredBackend(cache_dir, max_bytes=max_bytes)
+    raise ValueError(f"unknown cache backend {spec!r} "
+                     "(expected memory, disk or tiered)")

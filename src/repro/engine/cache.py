@@ -1,11 +1,20 @@
 """Content-addressed result cache with hit/miss statistics.
 
-The cache stores *futures*, not values: the first caller of a key
-installs a future and computes the value inline; concurrent callers of
-the same key (worker threads of a parallel batch) find the in-flight
-future and wait on it instead of recomputing.  That gives exactly one
-computation per unique key regardless of scheduling, which is what makes
-the engine's hit/miss counts deterministic across ``--jobs`` settings.
+The cache separates two concerns:
+
+* **in-flight deduplication** lives here: the first caller of a key
+  installs a future and computes the value inline; concurrent callers
+  of the same key (worker threads of a parallel batch) find the
+  in-flight future and wait on it instead of recomputing.  That gives
+  exactly one computation per unique key regardless of scheduling,
+  which is what makes the engine's hit/miss counts deterministic
+  across ``--jobs`` settings.
+* **completed-value storage** is delegated to a pluggable
+  :class:`~repro.engine.backends.CacheBackend` — in-process memory
+  (default), a persistent on-disk :class:`~repro.store.ArtifactStore`,
+  or a tiered memory-over-disk combination.  The backend reports which
+  tier served each hit, so :class:`CacheStats` can attribute warm
+  starts to the disk layer.
 
 A failed computation is evicted before its exception propagates, so a
 transient error does not poison the key.
@@ -15,18 +24,40 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future
-from dataclasses import dataclass
-from typing import Any, Callable, Dict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from .backends import ORIGIN_DISK, CacheBackend, MemoryBackend
 
 __all__ = ["CacheStats", "CompileCache"]
 
 
 @dataclass
 class CacheStats:
-    """Lookup counters of one cache."""
+    """Lookup counters of one cache.
+
+    Updates go through :meth:`record_hit` / :meth:`record_miss`, which
+    are atomic (an internal lock): the engine's worker pool bumps these
+    from many threads at once, and ``+=`` on a shared counter drops
+    updates under contention.  ``disk_hits`` counts the subset of hits
+    served by a persistent backend tier rather than process memory.
+    """
 
     hits: int = 0
     misses: int = 0
+    disk_hits: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  init=False, repr=False, compare=False)
+
+    def record_hit(self, origin: str = "memory") -> None:
+        with self._lock:
+            self.hits += 1
+            if origin == ORIGIN_DISK:
+                self.disk_hits += 1
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self.misses += 1
 
     @property
     def lookups(self) -> int:
@@ -37,17 +68,23 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def summary(self) -> str:
-        return (f"cache: {self.hits} hits / {self.misses} misses "
-                f"({self.hit_rate:.1%} hit rate, "
+        return (f"cache: {self.hits} hits ({self.disk_hits} disk) / "
+                f"{self.misses} misses ({self.hit_rate:.1%} hit rate, "
                 f"{self.lookups} lookups)")
 
 
 class CompileCache:
-    """Thread-safe content-addressed cache (key -> computed result)."""
+    """Thread-safe content-addressed cache (key -> computed result).
 
-    def __init__(self) -> None:
+    *backend* selects where completed values live
+    (:class:`~repro.engine.backends.MemoryBackend` by default); the
+    in-flight future table and the statistics always live in-process.
+    """
+
+    def __init__(self, backend: Optional[CacheBackend] = None) -> None:
         self._lock = threading.Lock()
-        self._entries: Dict[str, Future] = {}
+        self._inflight: Dict[str, Future] = {}
+        self.backend = backend if backend is not None else MemoryBackend()
         self._stats = CacheStats()
 
     @property
@@ -55,16 +92,18 @@ class CompileCache:
         return self._stats
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self.backend) + len(self._inflight)
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
-            return key in self._entries
+            return key in self._inflight or key in self.backend
 
     def clear(self) -> None:
-        """Drop every entry (statistics are kept)."""
+        """Drop every completed entry (statistics are kept; in-flight
+        computations complete and publish into the cleared backend)."""
         with self._lock:
-            self._entries.clear()
+            self.backend.clear()
 
     def reset_stats(self) -> None:
         with self._lock:
@@ -74,27 +113,64 @@ class CompileCache:
         """Return the cached value for *key*, computing it on first use.
 
         Exactly one caller runs *compute* per key; concurrent callers
-        block on the in-flight future.  Either way the lookup is counted
-        (miss for the computing caller, hit for everyone else).
+        block on the in-flight future.  Either way the lookup is
+        counted (miss for the computing caller, hit for everyone else —
+        tagged with the backend tier that served it).
         """
+        # Optimistic lockless probe: published entries are immutable,
+        # so a hit needs no in-flight coordination at all — and a slow
+        # disk read never serializes lookups of other keys.
+        try:
+            value, origin = self.backend.load(key)
+        except KeyError:
+            pass
+        else:
+            self._stats.record_hit(origin)
+            return value
         with self._lock:
-            future = self._entries.get(key)
+            future = self._inflight.get(key)
             if future is None:
                 future = Future()
-                self._entries[key] = future
-                self._stats.misses += 1
+                self._inflight[key] = future
                 owner = True
             else:
-                self._stats.hits += 1
+                self._stats.record_hit("inflight")
                 owner = False
         if not owner:
             return future.result()
+        # This caller owns the key.  Re-probe (outside the lock): a
+        # previous owner may have published between the optimistic
+        # probe and the future installation above.
+        try:
+            value, origin = self.backend.load(key)
+        except KeyError:
+            pass
+        else:
+            self._stats.record_hit(origin)
+            return self._resolve(key, future, value, store=False)
+        self._stats.record_miss()
         try:
             value = compute()
         except BaseException as exc:
             with self._lock:
-                self._entries.pop(key, None)
+                self._inflight.pop(key, None)
             future.set_exception(exc)
             raise
-        future.set_result(value)
+        return self._resolve(key, future, value, store=True)
+
+    def _resolve(self, key: str, future: Future, value: Any,
+                 store: bool) -> Any:
+        """Publish *value* (to the backend when *store*), wake waiters,
+        and retire the in-flight entry — in that order, so there is no
+        window where a key is neither in flight nor in the backend.
+        The future resolves and the entry retires even if the backend
+        write blows up (waiters must get the computed value, never hang
+        on a storage error; the error still propagates to the owner)."""
+        try:
+            if store:
+                self.backend.store(key, value)
+        finally:
+            future.set_result(value)
+            with self._lock:
+                self._inflight.pop(key, None)
         return value

@@ -38,6 +38,7 @@ from ..optim import OptimizationReport, check_equivalence, optimize
 from ..optim.equivalence import EquivalenceReport
 from ..semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
 from ..uml.statemachine import StateMachine
+from .backends import CacheBackend, backend_from_spec
 from .cache import CacheStats, CompileCache
 from .fingerprint import (compile_fingerprint, conformance_fingerprint,
                           equivalence_fingerprint, machine_fingerprint,
@@ -54,13 +55,33 @@ class ExperimentEngine:
 
     ``jobs`` is the worker-pool width (1 = serial, the default);
     ``cache`` lets callers share one :class:`CompileCache` across
-    engines (a fresh private cache otherwise).
+    engines (a fresh private cache otherwise).  Instead of a cache,
+    callers may pass a ``backend`` (any
+    :class:`~repro.engine.backends.CacheBackend`, or a spec string
+    ``"memory"``/``"disk"``/``"tiered"``) and/or a ``cache_dir`` — a
+    directory turns the cache persistent
+    (:class:`~repro.store.ArtifactStore` under a tiered memory-over-disk
+    backend by default), which is how a second process run of the same
+    experiments is served warm from disk.
     """
 
     def __init__(self, jobs: int = 1,
-                 cache: Optional[CompileCache] = None) -> None:
+                 cache: Optional[CompileCache] = None,
+                 backend: "Union[CacheBackend, str, None]" = None,
+                 cache_dir: Optional[str] = None) -> None:
         self.jobs = max(1, int(jobs))
-        self.cache = cache if cache is not None else CompileCache()
+        if cache is not None:
+            if backend is not None or cache_dir is not None:
+                raise ValueError(
+                    "pass either cache= or backend=/cache_dir=, not both")
+            self.cache = cache
+        else:
+            if backend is None or isinstance(backend, str):
+                backend = backend_from_spec(backend, cache_dir=cache_dir)
+            elif cache_dir is not None:
+                raise ValueError(
+                    "cache_dir= only applies to backend spec strings")
+            self.cache = CompileCache(backend)
 
     # -- cached primitives --------------------------------------------------
 
@@ -214,11 +235,17 @@ class ExperimentEngine:
 
     def run_batch(self, jobs: Sequence[CompileJob]) -> List[CompileResult]:
         """Execute a grid of compile jobs; results in input order."""
+        return self.run_batch_planned(jobs)[0]
+
+    def run_batch_planned(self, jobs: Sequence[CompileJob]
+                          ) -> "tuple[List[CompileResult], BatchPlan]":
+        """Like :meth:`run_batch`, also returning the executed
+        :class:`BatchPlan` (dedup counts etc.) — planning happens once."""
         return self._run_planned(jobs, self._run_compile_job)
 
     def compare_batch(self, jobs: Sequence[CompareJob]) -> List:
         """Execute a grid of comparison jobs; results in input order."""
-        return self._run_planned(jobs, self._run_compare_job)
+        return self._run_planned(jobs, self._run_compare_job)[0]
 
     def _run_compile_job(self, job: CompileJob) -> CompileResult:
         return self.compile_machine(job.machine, pattern=job.pattern,
@@ -234,13 +261,14 @@ class ExperimentEngine:
             check_behavior=job.check_behavior, semantics=job.semantics,
             target=job.target)
 
-    def _run_planned(self, jobs: Sequence, run_one: Callable) -> List:
+    def _run_planned(self, jobs: Sequence, run_one: Callable
+                     ) -> "tuple[List, BatchPlan]":
         plan: BatchPlan = plan_batch(jobs)
         unique = list(plan.unique.items())
         values = self.map(lambda item: run_one(item[1]), unique)
         results: Dict[str, object] = {fp: value for (fp, _), value
                                       in zip(unique, values)}
-        return plan.assemble(results)
+        return plan.assemble(results), plan
 
     def map(self, fn: Callable[..., T], items: Sequence) -> List[T]:
         """Apply *fn* over *items* on the worker pool, preserving order."""
@@ -257,4 +285,8 @@ class ExperimentEngine:
         return self.cache.stats
 
     def describe(self) -> str:
-        return f"engine(jobs={self.jobs}): {self.stats.summary()}"
+        backend = getattr(self.cache, "backend", None)
+        backend_note = f", backend={backend.name}" if backend is not None \
+            else ""
+        return (f"engine(jobs={self.jobs}{backend_note}): "
+                f"{self.stats.summary()}")

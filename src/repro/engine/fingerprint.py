@@ -16,6 +16,14 @@ Fingerprints are *content-addressed*: rebuilding the same machine from
 scratch (same builder calls, same seed) hits the same cache entry, while
 any change to any key component — including the target or semantics —
 misses.
+
+Every digest also folds in the repro **schema stamp**
+(:func:`repro.schema.schema_stamp`).  Keys may outlive the process via
+the on-disk store (:mod:`repro.store`), and an artifact pickled by an
+older serialization generation must not satisfy a newer key: bumping
+``repro.schema.SCHEMA_VERSION`` (or the machine JSON format version)
+changes every fingerprint, so stale on-disk entries become misses
+instead of deserializing wrongly.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from typing import Optional, Sequence, Union
 
 from ..compiler import OptLevel
 from ..compiler.target import TargetDescription, resolve_target
+from ..schema import schema_stamp
 from ..semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
 from ..uml.serialize import machine_to_dict
 from ..uml.statemachine import StateMachine
@@ -79,6 +88,8 @@ def target_key(target: Union[TargetDescription, str, None]) -> str:
 
 def _digest(kind: str, *components: str) -> str:
     hasher = hashlib.sha256()
+    hasher.update(schema_stamp().encode("utf-8"))
+    hasher.update(b"\x00")
     hasher.update(kind.encode("utf-8"))
     for component in components:
         hasher.update(b"\x00")

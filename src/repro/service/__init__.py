@@ -1,0 +1,37 @@
+"""Batch compile service: compilation offered over a socket.
+
+The engine (:mod:`repro.engine`) made repeated work cheap *within* a
+process and the store (:mod:`repro.store`) made artifacts outlive one;
+this package makes compilation a *service* so many clients — CLI
+invocations, CI shards, notebooks — share one hot engine without
+sharing a process:
+
+* :mod:`~repro.service.protocol` — the JSON-lines wire format: request
+  and response shapes, machine/semantics (de)serialization, and the
+  canonical result payload (built by the same function the in-process
+  path uses, so service answers are identical to local engine runs);
+* :mod:`~repro.service.server` — :class:`CompileService`, an asyncio
+  server over a unix socket or TCP port fronting one
+  :class:`~repro.engine.ExperimentEngine`: identical in-flight requests
+  are coalesced onto one computation, batches are deduplicated by the
+  engine's planner, and per-client statistics are kept;
+  :class:`ServiceThread` runs the whole thing on a background thread
+  for examples/tests;
+* :mod:`~repro.service.client` — :class:`ServiceClient`, a thin
+  blocking client.
+
+CLI: ``python -m repro.service serve|submit|stats``.
+"""
+
+from .client import ServiceClient, ServiceError
+from .protocol import (compile_params, compile_result_payload,
+                       job_from_params, parse_opt_level,
+                       semantics_from_dict, semantics_to_dict)
+from .server import CompileService, ServiceThread, start_service
+
+__all__ = [
+    "ServiceClient", "ServiceError",
+    "CompileService", "ServiceThread", "start_service",
+    "compile_params", "compile_result_payload", "job_from_params",
+    "parse_opt_level", "semantics_from_dict", "semantics_to_dict",
+]

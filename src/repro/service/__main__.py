@@ -1,0 +1,169 @@
+"""Compile-service CLI: ``python -m repro.service <serve|submit|stats>``.
+
+``serve`` runs the asyncio server in the foreground::
+
+    python -m repro.service serve --socket /tmp/repro.sock \\
+        --cache-dir .repro-store --jobs 4
+
+``submit`` compiles a model over the wire (one request per ``--pattern``,
+batched when several are given)::
+
+    python -m repro.service submit --socket /tmp/repro.sock \\
+        --model flat --pattern nested-switch --pattern state-table
+
+``stats`` prints the server's engine + per-client statistics as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import List, Optional
+
+from ..engine import ExperimentEngine
+from ..uml.serialize import load_machine
+from .client import ServiceClient, ServiceError
+from .server import start_service
+
+#: Named models submit can compile without a machine-JSON file.
+_MODELS = {
+    "flat": "flat_machine_with_unreachable_state",
+    "flat-opt": "flat_machine_optimized_by_hand",
+    "hier": "hierarchical_machine_with_shadowed_composite",
+    "hier-opt": "hierarchical_machine_optimized_by_hand",
+}
+
+
+def _add_address_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--socket", metavar="PATH",
+                        help="unix socket path of the server")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="TCP host (with --port; default %(default)s)")
+    parser.add_argument("--port", type=int, metavar="N",
+                        help="TCP port of the server")
+
+
+def _client(args: argparse.Namespace) -> ServiceClient:
+    if not args.socket and args.port is None:
+        raise SystemExit("error: need --socket or --port")
+    return ServiceClient(socket_path=args.socket, host=args.host,
+                         port=args.port)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if not args.socket and args.port is None:
+        print("error: need --socket or --port to serve on",
+              file=sys.stderr)
+        return 2
+    engine = ExperimentEngine(jobs=args.jobs, backend=args.backend,
+                              cache_dir=args.cache_dir)
+
+    async def _serve() -> None:
+        server, service = await start_service(
+            engine, socket_path=args.socket, host=args.host,
+            port=args.port)
+        where = args.socket if args.socket else \
+            "%s:%d" % server.sockets[0].getsockname()[:2]
+        print(f"repro compile service listening on {where} "
+              f"({engine.describe()})", file=sys.stderr)
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("service stopped", file=sys.stderr)
+    return 0
+
+
+def _load_model(args: argparse.Namespace):
+    if args.machine_json:
+        return load_machine(args.machine_json)
+    from ..experiments import models
+    return getattr(models, _MODELS[args.model])()
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    machine = _load_model(args)
+    patterns: List[str] = args.pattern or ["nested-switch"]
+    with _client(args) as client:
+        if len(patterns) == 1:
+            results = [client.compile_machine(
+                machine, pattern=patterns[0], level=args.level,
+                target=args.target, want_asm=args.asm)]
+        else:
+            from .protocol import compile_params
+            results = client.submit_batch([
+                compile_params(machine, pattern=pattern, level=args.level,
+                               target=args.target, want_asm=args.asm)
+                for pattern in patterns])
+    print(json.dumps(results if len(results) > 1 else results[0],
+                     indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve, query and submit to the repro compile "
+                    "service.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the compile server")
+    _add_address_args(serve)
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="engine worker-pool width (default "
+                            "%(default)s)")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help="persistent artifact store directory "
+                            "(tiered memory-over-disk cache)")
+    serve.add_argument("--backend",
+                       choices=("memory", "disk", "tiered"),
+                       help="cache backend (default: tiered with "
+                            "--cache-dir, else memory)")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser("submit", help="compile a model via the "
+                                           "service")
+    _add_address_args(submit)
+    submit.add_argument("--model", choices=sorted(_MODELS),
+                        default="flat",
+                        help="named experiment model (default "
+                             "%(default)s)")
+    submit.add_argument("--machine-json", metavar="FILE",
+                        help="machine JSON file (overrides --model)")
+    submit.add_argument("--pattern", action="append", metavar="NAME",
+                        help="codegen pattern; repeat for a batch "
+                             "(default nested-switch)")
+    submit.add_argument("--level", default="-Os",
+                        help="optimization level (default %(default)s)")
+    submit.add_argument("--target", default=None, metavar="NAME",
+                        help="backend ISA (default: registry default)")
+    submit.add_argument("--asm", action="store_true",
+                        help="include the assembly listing in the "
+                             "result")
+    submit.set_defaults(func=_cmd_submit)
+
+    stats = sub.add_parser("stats", help="print server statistics")
+    _add_address_args(stats)
+    stats.set_defaults(func=_cmd_stats)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ConnectionError, ServiceError, FileNotFoundError,
+            ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

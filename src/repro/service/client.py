@@ -1,0 +1,118 @@
+""":class:`ServiceClient` — thin blocking client of the compile service.
+
+One socket connection, synchronous request/response over JSON lines.
+The client does no compilation-side work beyond serializing the
+machine; the result payloads it returns are exactly the server's
+(:func:`repro.service.protocol.compile_result_payload`), so a
+round-trip through the service is directly comparable to an in-process
+engine run.
+
+::
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(socket_path="/tmp/repro.sock") as client:
+        payload = client.compile_machine(machine, pattern="state-table")
+        print(payload["total_size"])
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..compiler import OptLevel
+from ..semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
+from ..uml.statemachine import StateMachine
+from .protocol import (MAX_LINE_BYTES, compile_params, decode_message,
+                       encode_message)
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(RuntimeError):
+    """The server answered a request with ``ok: false``."""
+
+
+class ServiceClient:
+    """Blocking JSON-lines client over a unix socket or TCP address."""
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 host: Optional[str] = None, port: Optional[int] = None,
+                 timeout: float = 300.0) -> None:
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        elif port is not None:
+            self._sock = socket.create_connection(
+                (host or "127.0.0.1", port), timeout=timeout)
+        else:
+            raise ValueError("need socket_path or port to connect to")
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- plumbing -----------------------------------------------------------
+
+    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """Send one request; return its ``result`` object or raise
+        :class:`ServiceError`."""
+        self._next_id += 1
+        message = {"id": self._next_id, "op": op}
+        message.update(params)
+        self._file.write(encode_message(message))
+        self._file.flush()
+        line = self._file.readline(MAX_LINE_BYTES)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = decode_message(line)
+        # ok/error first: framing-level failures answer with id=None,
+        # and their message must not be masked by the id sanity check.
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown error"))
+        if response.get("id") != self._next_id:
+            raise ServiceError(
+                f"response id {response.get('id')!r} != request id "
+                f"{self._next_id}")
+        return response.get("result", {})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- operations ---------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+    def compile_machine(self, machine: Union[StateMachine, Dict[str, Any]],
+                        pattern: str = "nested-switch",
+                        level: Union[OptLevel, str, None] = None,
+                        target: Optional[str] = None,
+                        semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS,
+                        want_asm: bool = False) -> Dict[str, Any]:
+        """Compile one machine on the server; returns the result
+        payload (sizes, pass stats, fingerprint, optionally the
+        assembly listing)."""
+        return self.request("compile",
+                            **compile_params(machine, pattern=pattern,
+                                             level=level, target=target,
+                                             semantics=semantics,
+                                             want_asm=want_asm))
+
+    def submit_batch(self, jobs: Sequence[Dict[str, Any]]
+                     ) -> List[Dict[str, Any]]:
+        """Submit a grid of compile jobs (each a :func:`compile_params`
+        object); results come back in input order."""
+        return self.request("batch", jobs=list(jobs))["results"]

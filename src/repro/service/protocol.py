@@ -1,0 +1,165 @@
+"""Wire format of the compile service: JSON lines, one message per line.
+
+Requests are objects ``{"id": N, "op": NAME, ...params}``; responses
+echo the id: ``{"id": N, "ok": true, "result": {...}}`` or ``{"id": N,
+"ok": false, "error": "..."}``.  Operations:
+
+======== ==============================================================
+op       params -> result
+======== ==============================================================
+ping     ``{}`` -> ``{"pong": true, "version": ...}``
+compile  one compile-job description (see :func:`compile_params`) ->
+         the canonical result payload (:func:`compile_result_payload`)
+batch    ``{"jobs": [<compile params>, ...]}`` -> ``{"results": [...],
+         "deduplicated": N}`` — results in input order, grid deduped
+         by the engine's batch planner
+stats    ``{}`` -> engine cache statistics + per-client counters
+======== ==============================================================
+
+Machines travel as their canonical JSON dict
+(:func:`repro.uml.serialize.machine_to_dict`) and semantics configs via
+:func:`semantics_to_dict` — the same serializations the engine's cache
+fingerprints are built from, so a service-side compile lands on exactly
+the cache entry an in-process run of the same job would.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Union
+
+from ..compiler import CompileResult, OptLevel
+from ..engine.jobs import CompileJob
+from ..semantics.variation import (ConflictPolicy, EventPoolPolicy,
+                                   SemanticsConfig, UML_DEFAULT_SEMANTICS,
+                                   UnconsumedPolicy)
+from ..uml.serialize import machine_from_dict, machine_to_dict
+from ..uml.statemachine import StateMachine
+
+__all__ = ["MAX_LINE_BYTES", "encode_message", "decode_message",
+           "parse_opt_level", "semantics_to_dict", "semantics_from_dict",
+           "compile_params", "job_from_params", "compile_result_payload"]
+
+#: Stream limit for one JSON line (a serialized machine can be large).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One wire frame: compact JSON + newline."""
+    return json.dumps(message, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    message = json.loads(line.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError("message must be a JSON object")
+    return message
+
+
+def parse_opt_level(level: Union[OptLevel, str, None]) -> OptLevel:
+    """Accept ``OptLevel``, ``"-Os"``, ``"Os"``, ``"OS"`` ... (default
+    ``-Os``, the paper's measurement flag)."""
+    if level is None:
+        return OptLevel.OS
+    if isinstance(level, OptLevel):
+        return level
+    text = str(level)
+    for candidate in (text, f"-{text}"):
+        try:
+            return OptLevel(candidate)
+        except ValueError:
+            pass
+    try:
+        return OptLevel[text.lstrip("-").upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown optimization level {level!r} (expected one of "
+            f"{', '.join(lv.value for lv in OptLevel)})") from None
+
+
+def semantics_to_dict(semantics: SemanticsConfig) -> Dict[str, Any]:
+    return {
+        "event_pool": semantics.event_pool.value,
+        "unconsumed_events": semantics.unconsumed_events.value,
+        "conflict_resolution": semantics.conflict_resolution.value,
+        "completion_priority": semantics.completion_priority,
+        "max_run_to_completion_steps":
+            semantics.max_run_to_completion_steps,
+    }
+
+
+def semantics_from_dict(data: Optional[Dict[str, Any]]) -> SemanticsConfig:
+    if not data:
+        return UML_DEFAULT_SEMANTICS
+    return SemanticsConfig(
+        event_pool=EventPoolPolicy(
+            data.get("event_pool", EventPoolPolicy.FIFO.value)),
+        unconsumed_events=UnconsumedPolicy(
+            data.get("unconsumed_events", UnconsumedPolicy.DISCARD.value)),
+        conflict_resolution=ConflictPolicy(
+            data.get("conflict_resolution",
+                     ConflictPolicy.INNERMOST_FIRST.value)),
+        completion_priority=bool(data.get("completion_priority", True)),
+        max_run_to_completion_steps=int(
+            data.get("max_run_to_completion_steps", 10_000)),
+    )
+
+
+def compile_params(machine: Union[StateMachine, Dict[str, Any]],
+                   pattern: str = "nested-switch",
+                   level: Union[OptLevel, str, None] = None,
+                   target: Optional[str] = None,
+                   semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS,
+                   want_asm: bool = False) -> Dict[str, Any]:
+    """The params object of one ``compile`` request / ``batch`` job."""
+    if isinstance(machine, StateMachine):
+        machine = machine_to_dict(machine)
+    return {
+        "machine": machine,
+        "pattern": pattern,
+        "level": parse_opt_level(level).value,
+        "target": target,
+        "semantics": semantics_to_dict(semantics),
+        "want_asm": bool(want_asm),
+    }
+
+
+def job_from_params(params: Dict[str, Any]) -> CompileJob:
+    """Rebuild the engine job a ``compile``/``batch`` params object
+    describes (raises ``KeyError``/``ValueError`` on malformed input)."""
+    return CompileJob(
+        machine=machine_from_dict(params["machine"]),
+        pattern=params.get("pattern", "nested-switch"),
+        level=parse_opt_level(params.get("level")),
+        target=params.get("target"),
+        semantics=semantics_from_dict(params.get("semantics")),
+    )
+
+
+def compile_result_payload(job: CompileJob, result: CompileResult,
+                           want_asm: bool = False) -> Dict[str, Any]:
+    """Canonical JSON rendering of one compile's artifacts.
+
+    Both the service and in-process comparisons build payloads through
+    this one function, which is what makes "submit over the socket" and
+    "call the engine directly" byte-comparable.
+    """
+    module = result.module
+    payload = {
+        "fingerprint": job.fingerprint(),
+        "machine": job.machine.name,
+        "pattern": job.pattern,
+        "level": result.opt_level.value,
+        "target": result.target.name if result.target is not None else None,
+        "total_size": module.total_size,
+        "text_size": module.text_size,
+        "rodata_size": module.rodata_size,
+        "data_size": module.data_size,
+        "bss_size": module.bss_size,
+        "function_sizes": module.function_sizes(),
+        "pass_stats": dict(result.pass_stats),
+    }
+    if want_asm:
+        payload["asm"] = module.listing()
+    return payload

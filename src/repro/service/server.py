@@ -1,0 +1,357 @@
+""":class:`CompileService` — an asyncio JSON-lines compile server.
+
+One service fronts one :class:`~repro.engine.ExperimentEngine`; every
+connected client shares that engine's cache (point the engine at a
+``cache_dir`` and the service becomes a warm, persistent compile
+farm).  The event loop only parses and routes; compiles run on the
+loop's default executor so the socket stays responsive while the
+engine works.
+
+**Request coalescing**: identical compile jobs (same content
+fingerprint) that are in flight at the same time — from one client or
+many — are folded onto a single computation; late arrivals await the
+same task and are counted as *coalesced*.  This is the asyncio
+analogue of the cache's in-flight futures, one layer earlier: a
+coalesced request never even occupies an executor slot.
+
+**Per-client statistics**: the service tracks requests, compiles,
+batch jobs, coalesced hits and errors per live connection, folds
+disconnected clients into running totals (so a long-lived server's
+stats stay bounded), and serves both — plus the engine's cache
+counters — to the ``stats`` operation.
+
+:class:`ServiceThread` wraps server + event loop in a background
+thread behind a context manager — the sync-world entry point examples,
+tests and the docs use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..engine import ExperimentEngine
+from .protocol import (MAX_LINE_BYTES, compile_result_payload,
+                       decode_message, encode_message, job_from_params)
+
+__all__ = ["ClientStats", "CompileService", "start_service",
+           "ServiceThread"]
+
+
+@dataclass
+class ClientStats:
+    """Counters of one client connection."""
+
+    peer: str = ""
+    requests: int = 0
+    compiles: int = 0
+    batch_jobs: int = 0
+    coalesced: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"peer": self.peer, "requests": self.requests,
+                "compiles": self.compiles, "batch_jobs": self.batch_jobs,
+                "coalesced": self.coalesced, "errors": self.errors}
+
+
+@dataclass
+class _ServiceTotals:
+    """Aggregate counters (mutated on the event-loop thread only).
+
+    Disconnected clients fold into these, so the per-client table can
+    hold *live* connections only without losing history."""
+
+    connections: int = 0
+    requests: int = 0
+    compiles: int = 0
+    batch_jobs: int = 0
+    coalesced: int = 0
+    errors: int = 0
+
+    def absorb(self, client: "ClientStats") -> None:
+        self.compiles += client.compiles
+        self.batch_jobs += client.batch_jobs
+
+
+class CompileService:
+    """Routes wire requests onto one shared experiment engine."""
+
+    def __init__(self, engine: Optional[ExperimentEngine] = None) -> None:
+        self.engine = engine if engine is not None else ExperimentEngine()
+        self.totals = _ServiceTotals()
+        self.clients: Dict[str, ClientStats] = {}
+        #: compile fingerprint -> in-flight asyncio task (coalescing).
+        self._inflight: Dict[str, asyncio.Task] = {}
+
+    # -- connection handling ------------------------------------------------
+
+    async def handle_client(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        self.totals.connections += 1
+        name = f"client-{self.totals.connections}"
+        peername = writer.get_extra_info("peername")
+        client = ClientStats(peer=repr(peername) if peername else "unix")
+        self.clients[name] = client              # live connections only
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(encode_message(
+                        {"ok": False, "error": "request line too long"}))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                response = await self._handle_line(line, name, client)
+                writer.write(encode_message(response))
+                await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            # Retire the per-client row (unbounded growth otherwise on a
+            # long-lived server); its counters live on in the totals.
+            self.totals.absorb(client)
+            self.clients.pop(name, None)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_line(self, line: bytes, name: str,
+                           client: ClientStats) -> Dict[str, Any]:
+        client.requests += 1
+        self.totals.requests += 1
+        request_id = None
+        try:
+            message = decode_message(line)
+            request_id = message.get("id")
+            op = message.get("op")
+            result = await self._dispatch(op, message, name, client)
+        except Exception as exc:
+            client.errors += 1
+            self.totals.errors += 1
+            return {"id": request_id, "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}"}
+        return {"id": request_id, "ok": True, "result": result}
+
+    # -- operations ---------------------------------------------------------
+
+    async def _dispatch(self, op: Any, message: Dict[str, Any], name: str,
+                        client: ClientStats) -> Dict[str, Any]:
+        if op == "ping":
+            from .. import __version__
+            return {"pong": True, "version": __version__}
+        if op == "stats":
+            return self.stats_payload()
+        if op == "compile":
+            return await self._compile_one(message, client)
+        if op == "batch":
+            return await self._compile_batch(message, client)
+        raise ValueError(f"unknown operation {op!r}")
+
+    async def _compile_one(self, message: Dict[str, Any],
+                           client: ClientStats) -> Dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        # Deserializing and fingerprinting a machine is CPU work
+        # proportional to its size — executor, not event loop.
+        job = await loop.run_in_executor(
+            None, lambda: job_from_params(message))
+        key = await loop.run_in_executor(None, job.fingerprint)
+        task = self._inflight.get(key)
+        if task is None:
+            task = loop.create_task(self._run_compile(job))
+            self._inflight[key] = task
+            task.add_done_callback(
+                lambda _t, _key=key: self._inflight.pop(_key, None))
+        else:
+            client.coalesced += 1
+            self.totals.coalesced += 1
+        client.compiles += 1
+        # shield: one requester disconnecting must not cancel the shared
+        # computation other requesters of the same key are awaiting.
+        result = await asyncio.shield(task)
+        return await loop.run_in_executor(
+            None, lambda: compile_result_payload(
+                job, result, want_asm=bool(message.get("want_asm"))))
+
+    async def _run_compile(self, job):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, lambda: self.engine.compile_machine(
+                job.machine, pattern=job.pattern, level=job.level,
+                target=job.target, semantics=job.semantics))
+
+    async def _compile_batch(self, message: Dict[str, Any],
+                             client: ClientStats) -> Dict[str, Any]:
+        raw_jobs = message.get("jobs")
+        if not isinstance(raw_jobs, list):
+            raise ValueError("batch needs a 'jobs' array")
+        client.batch_jobs += len(raw_jobs)
+
+        def run_whole_batch():
+            # Deserialization and planning are CPU work proportional to
+            # the grid — keep them off the event-loop thread too.
+            jobs = [job_from_params(params) for params in raw_jobs]
+            results, plan = self.engine.run_batch_planned(jobs)
+            return [
+                compile_result_payload(
+                    job, result, want_asm=bool(params.get("want_asm")))
+                for params, job, result in zip(raw_jobs, jobs, results)
+            ], plan.n_deduplicated
+
+        loop = asyncio.get_running_loop()
+        payloads, deduplicated = await loop.run_in_executor(
+            None, run_whole_batch)
+        return {"results": payloads, "deduplicated": deduplicated}
+
+    # -- introspection ------------------------------------------------------
+
+    def stats_payload(self) -> Dict[str, Any]:
+        stats = self.engine.stats
+        return {
+            "engine": {
+                "jobs": self.engine.jobs,
+                "hits": stats.hits,
+                "disk_hits": stats.disk_hits,
+                "misses": stats.misses,
+                "lookups": stats.lookups,
+                "hit_rate": stats.hit_rate,
+            },
+            "service": {
+                "connections": self.totals.connections,
+                "requests": self.totals.requests,
+                "compiles": self.totals.compiles +
+                sum(c.compiles for c in self.clients.values()),
+                "batch_jobs": self.totals.batch_jobs +
+                sum(c.batch_jobs for c in self.clients.values()),
+                "coalesced": self.totals.coalesced,
+                "errors": self.totals.errors,
+            },
+            # live connections only; disconnected clients are folded
+            # into the service totals above.
+            "clients": {name: client.as_dict()
+                        for name, client in sorted(self.clients.items())},
+        }
+
+
+async def start_service(engine: Optional[ExperimentEngine] = None,
+                        socket_path: Optional[str] = None,
+                        host: Optional[str] = None,
+                        port: Optional[int] = None,
+                        ) -> Tuple[asyncio.AbstractServer, CompileService]:
+    """Start serving on a unix socket (*socket_path*) or TCP
+    (*host*/*port*); returns ``(asyncio server, service)``."""
+    service = CompileService(engine)
+    if socket_path is not None:
+        server = await asyncio.start_unix_server(
+            service.handle_client, path=socket_path, limit=MAX_LINE_BYTES)
+    elif port is not None:
+        server = await asyncio.start_server(
+            service.handle_client, host=host or "127.0.0.1", port=port,
+            limit=MAX_LINE_BYTES)
+    else:
+        raise ValueError("need socket_path or port to serve on")
+    return server, service
+
+
+class ServiceThread:
+    """A compile service on a background thread (context manager).
+
+    With no address arguments a throwaway unix socket is created::
+
+        with ServiceThread(engine) as handle:
+            with handle.client() as client:
+                client.ping()
+    """
+
+    def __init__(self, engine: Optional[ExperimentEngine] = None,
+                 socket_path: Optional[str] = None,
+                 host: str = "127.0.0.1",
+                 port: Optional[int] = None) -> None:
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self._own_socket_dir: Optional[str] = None
+        if socket_path is None and port is None:
+            self._own_socket_dir = tempfile.mkdtemp(prefix="repro-service-")
+            socket_path = os.path.join(self._own_socket_dir, "service.sock")
+        self.socket_path = socket_path
+        self.server: Optional[asyncio.AbstractServer] = None
+        self.service: Optional[CompileService] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "ServiceThread":
+        if self._thread is not None:
+            raise RuntimeError("service thread already started")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-service")
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(
+            start_service(self.engine, socket_path=self.socket_path,
+                          host=self.host, port=self.port), self._loop)
+        self.server, self.service = future.result(timeout=30)
+        if self.socket_path is None:
+            self.port = self.server.sockets[0].getsockname()[1]
+        return self
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def stop(self) -> None:
+        if self._loop is None:
+            return
+        if self.server is not None:
+            async def _close(server=self.server):
+                server.close()
+                await server.wait_closed()
+            asyncio.run_coroutine_threadsafe(_close(),
+                                             self._loop).result(timeout=30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+        self._loop.close()
+        self._loop = self._thread = self.server = None
+        if self.socket_path and os.path.exists(self.socket_path):
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+        if self._own_socket_dir and os.path.isdir(self._own_socket_dir):
+            try:
+                os.rmdir(self._own_socket_dir)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- conveniences -------------------------------------------------------
+
+    def client(self):
+        """A :class:`~repro.service.client.ServiceClient` for this
+        server's address."""
+        from .client import ServiceClient
+        if self.socket_path is not None:
+            return ServiceClient(socket_path=self.socket_path)
+        return ServiceClient(host=self.host, port=self.port)
+
+    @property
+    def address(self) -> str:
+        if self.socket_path is not None:
+            return f"unix:{self.socket_path}"
+        return f"tcp:{self.host}:{self.port}"

@@ -1,0 +1,114 @@
+"""On-disk entry codec: self-describing, self-verifying artifact files.
+
+One entry file holds one cached artifact::
+
+    repro-store1 {"key": ..., "schema": ..., "sha256": ..., "size": N}\\n
+    <N bytes of pickled payload>
+
+The first line is the *header*: a magic token naming the entry format
+generation, then a JSON object carrying the cache key the entry was
+written under, the serialization schema stamp of the writing code
+(:func:`repro.schema.schema_stamp`), and the SHA-256 + length of the
+payload bytes that follow.
+
+:func:`decode_entry` re-derives everything the header claims and raises
+on any mismatch:
+
+* :class:`SchemaMismatchError` — the entry was written by a different
+  repro serialization generation (or a different entry format); its
+  payload would unpickle into stale objects, so it must be dropped;
+* :class:`CorruptEntryError` — truncation, bit rot, a key collision, or
+  an unparseable header; the bytes cannot be trusted.
+
+Both are :class:`EntryError`\\ s; the store maps any of them to a cache
+miss and deletes the file (corrupted-entry recovery).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from typing import Any, Optional
+
+from ..schema import schema_stamp
+
+__all__ = ["ENTRY_MAGIC", "EntryError", "CorruptEntryError",
+           "SchemaMismatchError", "encode_entry", "decode_entry"]
+
+#: Format generation of the entry file layout itself (header + payload).
+#: Distinct from the payload schema stamp: this names *how* the file is
+#: framed, the stamp names *what* the payload deserializes to.
+ENTRY_MAGIC = b"repro-store1"
+
+_HASH = "sha256"
+
+
+class EntryError(Exception):
+    """An on-disk entry could not be decoded; treat it as a miss."""
+
+
+class CorruptEntryError(EntryError):
+    """Truncated, bit-rotted, mis-keyed or unparseable entry bytes."""
+
+
+class SchemaMismatchError(EntryError):
+    """Entry written by a different repro serialization generation."""
+
+
+def _payload_digest(payload: bytes) -> str:
+    return hashlib.new(_HASH, payload).hexdigest()
+
+
+def encode_entry(key: str, value: Any) -> bytes:
+    """Serialize *value* into a self-verifying entry file body."""
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    header = json.dumps({
+        "key": key,
+        "schema": schema_stamp(),
+        _HASH: _payload_digest(payload),
+        "size": len(payload),
+    }, sort_keys=True, separators=(",", ":"))
+    return b"%s %s\n%s" % (ENTRY_MAGIC, header.encode("ascii"), payload)
+
+
+def decode_entry(key: str, data: bytes,
+                 expected_schema: Optional[str] = None) -> Any:
+    """Verify and deserialize an entry file body written for *key*.
+
+    The payload is re-hashed against the header digest and the header's
+    schema stamp is compared to the running code's
+    (*expected_schema* overrides the latter — tests use this).  Raises
+    :class:`EntryError` subclasses on any inconsistency.
+    """
+    magic, sep, rest = data.partition(b" ")
+    if not sep or magic != ENTRY_MAGIC:
+        raise SchemaMismatchError(
+            f"entry magic {magic[:32]!r} != {ENTRY_MAGIC!r}")
+    header_line, sep, payload = rest.partition(b"\n")
+    if not sep:
+        raise CorruptEntryError("entry has no header/payload separator")
+    try:
+        header = json.loads(header_line)
+    except ValueError as exc:
+        raise CorruptEntryError(f"unparseable entry header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise CorruptEntryError("entry header is not an object")
+    stamp = expected_schema if expected_schema is not None \
+        else schema_stamp()
+    if header.get("schema") != stamp:
+        raise SchemaMismatchError(
+            f"entry schema {header.get('schema')!r} != running {stamp!r}")
+    if header.get("key") != key:
+        raise CorruptEntryError(
+            f"entry key {header.get('key')!r} != requested {key!r}")
+    if header.get("size") != len(payload):
+        raise CorruptEntryError(
+            f"payload is {len(payload)} bytes, header claims "
+            f"{header.get('size')!r} (truncated write?)")
+    if header.get(_HASH) != _payload_digest(payload):
+        raise CorruptEntryError("payload digest mismatch (bit rot?)")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # unpicklable despite intact digest
+        raise CorruptEntryError(f"payload does not unpickle: {exc}") from exc

@@ -21,7 +21,7 @@ _ENV["PYTHONPATH"] = os.pathsep.join(
 def test_examples_exist():
     names = {p.stem for p in EXAMPLES}
     assert {"quickstart", "cruise_control", "protocol_handler",
-            "paper_walkthrough", "vm_conformance"} <= names
+            "paper_walkthrough", "vm_conformance", "service_demo"} <= names
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)

@@ -1,0 +1,89 @@
+"""Wire format: level parsing, semantics round-trip, job payloads."""
+
+import pytest
+
+from repro.compiler import OptLevel
+from repro.engine import ExperimentEngine
+from repro.experiments.models import flat_machine_with_unreachable_state
+from repro.semantics import SemanticsConfig
+from repro.service import (compile_params, compile_result_payload,
+                           job_from_params, parse_opt_level,
+                           semantics_from_dict, semantics_to_dict)
+from repro.service.protocol import decode_message, encode_message
+from repro.semantics.variation import UML_DEFAULT_SEMANTICS
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return flat_machine_with_unreachable_state()
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"id": 3, "op": "compile", "pattern": "state-table"}
+        assert decode_message(encode_message(message)) == message
+
+    def test_one_line_per_message(self):
+        assert encode_message({"id": 1}).count(b"\n") == 1
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError):
+            decode_message(b"[1, 2, 3]\n")
+
+
+class TestOptLevelParsing:
+    @pytest.mark.parametrize("text,expected", [
+        ("-Os", OptLevel.OS), ("Os", OptLevel.OS), ("OS", OptLevel.OS),
+        ("-O0", OptLevel.O0), ("O2", OptLevel.O2),
+        (None, OptLevel.OS), (OptLevel.O1, OptLevel.O1),
+    ])
+    def test_accepted_forms(self, text, expected):
+        assert parse_opt_level(text) is expected
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="-O7"):
+            parse_opt_level("-O7")
+
+
+class TestSemanticsRoundTrip:
+    def test_default(self):
+        data = semantics_to_dict(UML_DEFAULT_SEMANTICS)
+        assert semantics_from_dict(data) == UML_DEFAULT_SEMANTICS
+
+    def test_non_default_points_survive(self):
+        config = SemanticsConfig(completion_priority=False,
+                                 max_run_to_completion_steps=50)
+        assert semantics_from_dict(semantics_to_dict(config)) == config
+
+    def test_empty_means_default(self):
+        assert semantics_from_dict(None) == UML_DEFAULT_SEMANTICS
+        assert semantics_from_dict({}) == UML_DEFAULT_SEMANTICS
+
+
+class TestJobRoundTrip:
+    def test_params_rebuild_the_same_job(self, machine):
+        params = compile_params(machine, pattern="state-table",
+                                level="O2", target="rt16")
+        job = job_from_params(params)
+        assert job.pattern == "state-table"
+        assert job.level is OptLevel.O2
+        assert job.target == "rt16"
+        # Content-addressing survives the wire: the rebuilt machine
+        # fingerprints identically to the original object.
+        from repro.engine import compile_fingerprint
+        assert job.fingerprint() == compile_fingerprint(
+            machine, "state-table", OptLevel.O2, "rt16")
+
+    def test_payload_is_json_safe_and_complete(self, machine):
+        import json
+        engine = ExperimentEngine()
+        job = job_from_params(compile_params(machine))
+        result = engine.compile_machine(machine)
+        payload = compile_result_payload(job, result, want_asm=True)
+        json.dumps(payload)                       # JSON-serializable
+        assert payload["total_size"] == result.total_size
+        assert payload["asm"] == result.module.listing()
+        assert payload["fingerprint"] == job.fingerprint()
+        assert set(payload) >= {"machine", "pattern", "level", "target",
+                                "text_size", "function_sizes",
+                                "pass_stats"}

@@ -1,0 +1,125 @@
+"""Multi-process store safety.
+
+The store's contract is lockless cross-process sharing: concurrent
+writers of the same keys must never produce a torn or corrupt entry,
+and concurrent compilers against one ``--cache-dir`` must agree on
+results byte for byte.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.store import ArtifactStore
+
+_REPO = pathlib.Path(__file__).resolve().parents[2]
+
+_ENV = dict(os.environ)
+_ENV["PYTHONPATH"] = os.pathsep.join(
+    [str(_REPO / "src")] + ([_ENV["PYTHONPATH"]]
+                            if _ENV.get("PYTHONPATH") else []))
+
+#: Worker: hammer one shared store with overlapping put/load cycles.
+_HAMMER = """
+import sys
+from repro.store import ArtifactStore
+root, worker = sys.argv[1], int(sys.argv[2])
+store = ArtifactStore(root)
+for round_no in range(30):
+    for key_no in range(10):
+        key = f"shared-{key_no}"
+        store.put(key, {"key": key, "payload": list(range(200))})
+        value = store.get(key)
+        assert value is None or value["key"] == key, value
+print("worker", worker, "done")
+"""
+
+#: Worker: compile the experiment-model grid against a shared cache
+#: dir and print a deterministic transcript of the results.
+_COMPILE_GRID = """
+import sys
+from repro.codegen import ALL_PATTERNS
+from repro.engine import ExperimentEngine
+from repro.experiments.models import (
+    flat_machine_with_unreachable_state,
+    hierarchical_machine_with_shadowed_composite)
+engine = ExperimentEngine(cache_dir=sys.argv[1])
+for build in (flat_machine_with_unreachable_state,
+              hierarchical_machine_with_shadowed_composite):
+    machine = build()
+    for gen in ALL_PATTERNS:
+        for target in ("rt32", "rt16"):
+            result = engine.compile_machine(machine, gen.name,
+                                            target=target)
+            print(machine.name, gen.name, target, result.total_size)
+            print(result.module.listing())
+"""
+
+
+def _spawn(code, *args):
+    return subprocess.Popen([sys.executable, "-c", code, *map(str, args)],
+                            env=_ENV, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+
+
+def _join(proc, timeout=300):
+    out, err = proc.communicate(timeout=timeout)
+    assert proc.returncode == 0, err[-2000:]
+    return out
+
+
+@pytest.mark.parametrize("n_workers", [4])
+def test_concurrent_writers_never_corrupt(tmp_path, n_workers):
+    root = tmp_path / "shared-store"
+    procs = [_spawn(_HAMMER, root, i) for i in range(n_workers)]
+    for proc in procs:
+        _join(proc)
+    store = ArtifactStore(root)
+    report = store.fsck()
+    assert report.clean, f"corrupt entries after race: {report}"
+    assert report.checked == 10
+    for key_no in range(10):
+        assert store.load(f"shared-{key_no}")["key"] == f"shared-{key_no}"
+    assert list((root / "tmp").iterdir()) == [], "stray temp files"
+
+
+def test_two_processes_same_workload_byte_identical(tmp_path):
+    """The satellite scenario: two *processes* compile the same grid
+    against one cache dir, concurrently, from cold."""
+    cache = tmp_path / "cache"
+    first = _spawn(_COMPILE_GRID, cache)
+    second = _spawn(_COMPILE_GRID, cache)
+    out_first, out_second = _join(first), _join(second)
+    assert out_first == out_second
+    assert "rt16" in out_first and "rt32" in out_first
+    store = ArtifactStore(cache)
+    report = store.fsck()
+    assert report.clean, f"corrupt entries after race: {report}"
+    # 2 machines x 4 patterns x 2 targets unique compiles ended on disk.
+    assert report.checked == 16
+
+
+def test_warm_third_process_is_all_disk_hits(tmp_path):
+    cache = tmp_path / "cache"
+    _join(_spawn(_COMPILE_GRID, cache))           # cold populate
+    warm_out = _join(_spawn(_COMPILE_GRID, cache))
+
+    # Warm run in-process to read the stats the subprocess can't share.
+    from repro.codegen import ALL_PATTERNS
+    from repro.engine import ExperimentEngine
+    from repro.experiments.models import (
+        flat_machine_with_unreachable_state,
+        hierarchical_machine_with_shadowed_composite)
+    engine = ExperimentEngine(cache_dir=str(cache))
+    for build in (flat_machine_with_unreachable_state,
+                  hierarchical_machine_with_shadowed_composite):
+        machine = build()
+        for gen in ALL_PATTERNS:
+            for target in ("rt32", "rt16"):
+                engine.compile_machine(machine, gen.name, target=target)
+    assert engine.stats.misses == 0
+    assert engine.stats.disk_hits == 16
+    assert warm_out  # populated transcript came back

@@ -1,0 +1,75 @@
+"""Entry codec: round-trip, integrity verification, schema stamping."""
+
+import pickle
+
+import pytest
+
+from repro.schema import schema_stamp
+from repro.store import (ENTRY_MAGIC, CorruptEntryError, EntryError,
+                         SchemaMismatchError, decode_entry, encode_entry)
+
+
+class TestRoundTrip:
+    def test_value_survives(self):
+        value = {"sizes": [1, 2, 3], "name": "m", "nested": {"a": (1, 2)}}
+        assert decode_entry("key", encode_entry("key", value)) == value
+
+    def test_header_is_first_line(self):
+        data = encode_entry("key", 42)
+        assert data.startswith(ENTRY_MAGIC + b" ")
+        header = data.split(b"\n", 1)[0]
+        assert b'"key"' in header and b'"sha256"' in header
+
+    def test_pickle_protocol_is_current(self):
+        payload = encode_entry("key", 42).split(b"\n", 1)[1]
+        assert pickle.loads(payload) == 42
+
+
+class TestVerification:
+    def test_payload_corruption_detected(self):
+        data = bytearray(encode_entry("key", list(range(50))))
+        data[-1] ^= 0xFF
+        with pytest.raises(CorruptEntryError, match="digest"):
+            decode_entry("key", bytes(data))
+
+    def test_truncation_detected(self):
+        data = encode_entry("key", list(range(50)))
+        with pytest.raises(CorruptEntryError, match="truncated"):
+            decode_entry("key", data[:-4])
+
+    def test_wrong_key_detected(self):
+        data = encode_entry("key-a", 1)
+        with pytest.raises(CorruptEntryError, match="key"):
+            decode_entry("key-b", data)
+
+    def test_bad_magic_detected(self):
+        data = b"other-format " + encode_entry("key", 1).split(b" ", 1)[1]
+        with pytest.raises(SchemaMismatchError):
+            decode_entry("key", data)
+
+    def test_garbage_detected(self):
+        with pytest.raises(EntryError):
+            decode_entry("key", b"\x00\x01\x02 nonsense")
+
+    def test_missing_separator_detected(self):
+        with pytest.raises(CorruptEntryError):
+            decode_entry("key", ENTRY_MAGIC + b" {} no newline here")
+
+
+class TestSchemaStamp:
+    def test_current_stamp_accepted(self):
+        data = encode_entry("key", "value")
+        assert decode_entry("key", data,
+                            expected_schema=schema_stamp()) == "value"
+
+    def test_other_generation_rejected(self):
+        """An entry written by a different serialization generation must
+        be a miss, never deserialized."""
+        data = encode_entry("key", "value")
+        with pytest.raises(SchemaMismatchError):
+            decode_entry("key", data,
+                         expected_schema="repro.schema/999+uml.format/1")
+
+    def test_stamp_names_both_version_axes(self):
+        stamp = schema_stamp()
+        assert "repro.schema/" in stamp and "uml.format/" in stamp
