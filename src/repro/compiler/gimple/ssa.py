@@ -186,7 +186,11 @@ def _split_critical_edges(fn: GimpleFunction) -> None:
         if len(succs) <= 1:
             continue
         retarget: Dict[str, str] = {}
-        for succ in set(succs):
+        # dict.fromkeys, not set: dedup must preserve successor order,
+        # or the crit-block numbering (and so every downstream label,
+        # symbol and byte of the module) would vary with the process's
+        # string-hash seed.
+        for succ in dict.fromkeys(succs):
             if len(preds[succ]) <= 1:
                 continue
             mid = fn.new_block("crit")

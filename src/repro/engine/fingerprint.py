@@ -42,7 +42,9 @@ from ..uml.statemachine import StateMachine
 
 __all__ = ["machine_fingerprint", "semantics_key", "target_key",
            "compile_fingerprint", "optimize_fingerprint",
-           "equivalence_fingerprint", "conformance_fingerprint"]
+           "equivalence_fingerprint", "conformance_fingerprint",
+           "stimuli_key", "interp_observation_fingerprint",
+           "vm_observation_fingerprint"]
 
 
 #: Per-object memo so repeated lookups of the same machine (the engine
@@ -126,6 +128,35 @@ def equivalence_fingerprint(original: StateMachine,
     """Key of one behavioral-equivalence check."""
     return _digest("equivalence", machine_fingerprint(original),
                    machine_fingerprint(optimized), semantics_key(semantics))
+
+
+def stimuli_key(stimuli) -> str:
+    """Canonical string for a fuzz stimulus set: a sequence of event
+    sequences, each event a ``(name, payload)`` pair.  Plain data on
+    purpose — the fingerprint layer never imports fuzz types."""
+    return json.dumps([[[str(n), int(p)] for n, p in stimulus]
+                       for stimulus in stimuli],
+                      separators=(",", ":"))
+
+
+def interp_observation_fingerprint(machine: StateMachine, stimuli,
+                                   semantics: SemanticsConfig =
+                                   UML_DEFAULT_SEMANTICS) -> str:
+    """Key of one reference-interpreter observation run
+    (:func:`repro.fuzz.observe.observe_interpreter_many`)."""
+    return _digest("interp-observe", machine_fingerprint(machine),
+                   stimuli_key(stimuli), semantics_key(semantics))
+
+
+def vm_observation_fingerprint(machine: StateMachine, stimuli,
+                               pattern: str, level: OptLevel,
+                               target: Union[TargetDescription, str, None],
+                               ) -> str:
+    """Key of one compiled-VM observation run
+    (:func:`repro.fuzz.observe.observe_vm_many`)."""
+    return _digest("vm-observe", machine_fingerprint(machine),
+                   stimuli_key(stimuli), pattern, level.value,
+                   target_key(target))
 
 
 def conformance_fingerprint(machine: StateMachine, pattern: str,

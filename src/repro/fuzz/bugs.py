@@ -1,0 +1,71 @@
+"""Deliberately unsound model passes — the fuzzer's planted bugs.
+
+A differential fuzzer that has never caught anything proves nothing:
+these passes exist to *validate the oracle and the shrinker* (and the
+CI smoke job) by giving them a bug with a known ground truth.  Each is
+a :class:`~repro.optim.pass_base.ModelPass` whose name carries the
+``inject-`` prefix so it can never be mistaken for a real optimization;
+:func:`buggy_pass_manager` yields a pass manager whose catalog contains
+them alongside the real passes, and :data:`INJECTED_PIPELINE` is the
+default pipeline with the planted bug running first (before
+guard simplification can hide the evidence).
+
+``--inject-bug`` on the fuzz CLI switches the oracle's model-optimizer
+executor to this manager: generated machines whose guarded transitions
+actually fire then diverge from the reference, the shrinker minimizes
+the witness, and the corpus ends up holding a small deterministic
+repro — the acceptance path for the whole find→shrink→replay loop.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..optim.manager import DEFAULT_PIPELINE, PassManager, \
+    default_pass_catalog
+from ..optim.pass_base import ModelPass, PassResult
+from ..semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
+from ..uml.statemachine import StateMachine
+
+__all__ = ["DropGuardedTransitions", "INJECTED_PIPELINE",
+           "buggy_pass_manager"]
+
+
+class DropGuardedTransitions(ModelPass):
+    """DELIBERATELY UNSOUND: delete every guarded event transition.
+
+    The "reasoning" this pass pretends to apply — a guard might be
+    false, so the transition might never fire, so it is dead — is the
+    classic may/must confusion.  Any machine where a guarded transition
+    fires observably becomes a differential witness.
+    """
+
+    name = "inject-drop-guarded-transitions"
+    description = ("UNSOUND (fuzz oracle validation): treats 'guard may "
+                   "be false' as 'transition never fires' and deletes "
+                   "every guarded event transition")
+
+    def run(self, machine: StateMachine,
+            semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS
+            ) -> PassResult:
+        result = PassResult(self.name)
+        for region in list(machine.all_regions()):
+            for tr in list(region.transitions):
+                if tr.guard is not None and tr.triggers:
+                    region.remove_transition(tr)
+                    result.record_transition(tr.describe())
+        return result
+
+
+#: The default pipeline with the planted bug up front.
+INJECTED_PIPELINE: Tuple[str, ...] = (
+    DropGuardedTransitions.name,) + tuple(DEFAULT_PIPELINE)
+
+
+def buggy_pass_manager(semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS
+                       ) -> PassManager:
+    """A pass manager whose catalog includes the injected bugs."""
+    catalog = default_pass_catalog()
+    bug = DropGuardedTransitions()
+    catalog[bug.name] = bug
+    return PassManager(passes=catalog.values(), semantics=semantics)

@@ -1,0 +1,138 @@
+"""Fuzz cases: one machine plus the stimuli driven through it.
+
+A :class:`FuzzCase` is the unit the whole fuzz subsystem passes around:
+the generator produces one, the differential oracle executes one, the
+shrinker minimizes one, and the corpus persists one.  Cases are
+**content-addressed** (the id is a digest of the canonical serialized
+form), so a case regenerated from the same seed, a case replayed from
+the corpus and a case imported from a JSON file all agree on identity.
+
+A :class:`Stimulus` is an event sequence with integer payloads.  Under
+the fixed UML-default semantics the payload is only meaningful as an
+event-pool priority (the generated runtimes implement the FIFO pool,
+where it is ignored), but the payload travels with the case so the same
+corpus replays under priority-pool semantics configurations too.
+Stimulus events may name signals **outside the machine's alphabet** —
+receiving an event nothing can consume is part of the behavior under
+test (the reference semantics discards it; compiled dispatch loops must
+charge through their no-match paths).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Sequence, Tuple
+
+from ..uml.serialize import machine_from_dict, machine_to_dict
+from ..uml.statemachine import StateMachine
+from ..uml.validate import validate_machine
+
+__all__ = ["Stimulus", "FuzzCase"]
+
+#: One dispatched event: (signal name, integer payload).
+EventTuple = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class Stimulus:
+    """One event sequence fed to every executor of a case."""
+
+    events: Tuple[EventTuple, ...] = ()
+
+    @staticmethod
+    def of(*names: str) -> "Stimulus":
+        """Build a payload-less stimulus from event names (tests/docs)."""
+        return Stimulus(tuple((name, 0) for name in names))
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.events)
+
+    def to_list(self) -> list:
+        return [[name, payload] for name, payload in self.events]
+
+    @staticmethod
+    def from_list(data: Sequence) -> "Stimulus":
+        return Stimulus(tuple((str(n), int(p)) for n, p in data))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One (machine, stimuli) differential-testing case."""
+
+    machine: StateMachine
+    stimuli: Tuple[Stimulus, ...]
+    seed: int = 0
+    profile: str = ""
+    features: Tuple[str, ...] = ()
+    meta: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    @property
+    def case_id(self) -> str:
+        """Content digest of the canonical serialized case (stable
+        across processes, rebuilds and corpus round-trips).  Computed
+        once per instance — cases are immutable by convention (the
+        shrinker always edits a fresh clone), and the digest
+        re-serializes the whole machine."""
+        cached = self.__dict__.get("_case_id")
+        if cached is None:
+            payload = json.dumps(
+                {"machine": machine_to_dict(self.machine),
+                 "stimuli": [s.to_list() for s in self.stimuli]},
+                sort_keys=True, separators=(",", ":"))
+            cached = hashlib.sha256(
+                payload.encode("utf-8")).hexdigest()[:16]
+            object.__setattr__(self, "_case_id", cached)
+        return cached
+
+    def plain_stimuli(self) -> Tuple[Tuple[EventTuple, ...], ...]:
+        """The stimuli as plain nested tuples (the engine's cache keys
+        and the observation layer take data, not fuzz types)."""
+        return tuple(s.events for s in self.stimuli)
+
+    def with_machine(self, machine: StateMachine) -> "FuzzCase":
+        return FuzzCase(machine=machine, stimuli=self.stimuli,
+                        seed=self.seed, profile=self.profile,
+                        features=self.features, meta=dict(self.meta))
+
+    def with_stimuli(self, stimuli: Sequence[Stimulus]) -> "FuzzCase":
+        return FuzzCase(machine=self.machine, stimuli=tuple(stimuli),
+                        seed=self.seed, profile=self.profile,
+                        features=self.features, meta=dict(self.meta))
+
+    # -- persistence --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "machine": machine_to_dict(self.machine),
+            "stimuli": [s.to_list() for s in self.stimuli],
+            "seed": self.seed,
+            "profile": self.profile,
+            "features": list(self.features),
+            "meta": dict(self.meta),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "FuzzCase":
+        machine = machine_from_dict(data["machine"])
+        validate_machine(machine)   # normalizes auto-declared operations
+        return FuzzCase(
+            machine=machine,
+            stimuli=tuple(Stimulus.from_list(s) for s in data["stimuli"]),
+            seed=int(data.get("seed", 0)),
+            profile=str(data.get("profile", "")),
+            features=tuple(data.get("features", ())),
+            meta=dict(data.get("meta", {})),
+        )
+
+    def describe(self) -> str:
+        n_states = sum(1 for _ in self.machine.all_states())
+        n_trans = sum(1 for _ in self.machine.all_transitions())
+        return (f"case {self.case_id} [{self.profile or 'custom'}]: "
+                f"{n_states} state(s), {n_trans} transition(s), "
+                f"{len(self.stimuli)} stimul{'us' if len(self.stimuli) == 1 else 'i'}")

@@ -1,0 +1,159 @@
+"""The repro corpus: minimized diverging cases, persisted.
+
+Corpus entries live in a :class:`repro.store.ArtifactStore` under a
+``fuzz-case:`` key prefix — the same verified, atomically-published,
+multi-process-safe on-disk format the compile cache uses, so a fuzz
+directory can be shared between runs, processes and CI jobs.  Each
+entry is a plain-data dict::
+
+    {"id": <case id>,
+     "case": <FuzzCase.to_dict()>,
+     "oracle": <OracleConfig.to_dict()>,
+     "semantics": <variation points the divergence was found under>,
+     "expect": [<executor ids that diverged>],
+     "note": "<free text>"}
+
+``expect`` is the ground truth for :meth:`Corpus.replay` and the
+replay-fixture tests: a repro *reproduces* when re-running the oracle
+flags exactly the recorded executors (an empty ``expect`` marks a case
+expected to be clean — useful for pinning fixed bugs).  Entries also
+export/import as JSON files so minimized repros can be checked into the
+test tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+# The semantics codec is the service wire format's — one dict shape for
+# every layer that persists a SemanticsConfig.
+from ..semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
+from ..service.protocol import semantics_from_dict, semantics_to_dict
+from ..store import ArtifactStore
+from .case import FuzzCase
+from .oracle import CaseResult, DifferentialOracle, OracleConfig
+
+__all__ = ["Corpus", "ReplayOutcome", "entry_to_json", "entry_from_json",
+           "semantics_to_dict", "semantics_from_dict"]
+
+_PREFIX = "fuzz-case:"
+
+
+def _entry(case: FuzzCase, config: OracleConfig,
+           expect: Sequence[str], note: str,
+           semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS
+           ) -> Dict[str, Any]:
+    return {"id": case.case_id,
+            "case": case.to_dict(),
+            "oracle": config.to_dict(),
+            "semantics": semantics_to_dict(semantics),
+            "expect": sorted(expect),
+            "note": note}
+
+
+def entry_to_json(entry: Dict[str, Any]) -> str:
+    return json.dumps(entry, indent=2, sort_keys=True)
+
+
+def entry_from_json(text: str) -> Dict[str, Any]:
+    entry = json.loads(text)
+    # Round-trip through the typed objects: malformed files fail here,
+    # not deep inside a replay.
+    FuzzCase.from_dict(entry["case"])
+    OracleConfig.from_dict(entry["oracle"])
+    semantics_from_dict(entry.get("semantics"))
+    return entry
+
+
+class ReplayOutcome:
+    """Verdict of replaying one corpus entry."""
+
+    def __init__(self, entry: Dict[str, Any], result: CaseResult) -> None:
+        self.entry = entry
+        self.result = result
+        self.expected = tuple(entry.get("expect", ()))
+        self.observed = result.divergent_executors()
+
+    @property
+    def reproduces(self) -> bool:
+        if tuple(sorted(self.expected)) != self.observed:
+            return False
+        # A clean pin (empty expectation) only counts when the case
+        # actually *executed* cleanly — a rejected reference also has
+        # zero divergences, but verifies nothing.
+        if not self.expected and self.result.status != "ok":
+            return False
+        return True
+
+    def summary(self) -> str:
+        verdict = "reproduces" if self.reproduces else "DOES NOT reproduce"
+        detail = ""
+        if not self.reproduces:
+            detail = (f" (expected {list(self.expected)}, observed "
+                      f"{list(self.observed)})")
+        return f"{self.entry['id']}: {verdict}{detail}"
+
+
+class Corpus:
+    """Minimized repros in an :class:`~repro.store.ArtifactStore`."""
+
+    def __init__(self, root) -> None:
+        self.store = root if isinstance(root, ArtifactStore) \
+            else ArtifactStore(root)
+
+    # -- write --------------------------------------------------------------
+
+    def add(self, case: FuzzCase, config: OracleConfig,
+            expect: Sequence[str], note: str = "",
+            semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS) -> str:
+        entry = _entry(case, config, expect, note, semantics=semantics)
+        self.store.put(_PREFIX + case.case_id, entry)
+        return case.case_id
+
+    def import_file(self, path) -> str:
+        entry = entry_from_json(Path(path).read_text(encoding="utf-8"))
+        self.store.put(_PREFIX + entry["id"], entry)
+        return entry["id"]
+
+    # -- read ---------------------------------------------------------------
+
+    def ids(self) -> List[str]:
+        return sorted(key[len(_PREFIX):] for key in self.store.keys()
+                      if key.startswith(_PREFIX))
+
+    def get(self, case_id: str) -> Dict[str, Any]:
+        entry = self.store.get(_PREFIX + case_id)
+        if entry is None:
+            raise KeyError(f"no corpus entry {case_id!r}")
+        return entry
+
+    def export_file(self, case_id: str, path) -> None:
+        Path(path).write_text(entry_to_json(self.get(case_id)) + "\n",
+                              encoding="utf-8")
+
+    def __len__(self) -> int:
+        return len(self.ids())
+
+    # -- replay -------------------------------------------------------------
+
+    def replay(self, case_id: str,
+               oracle: Optional[DifferentialOracle] = None
+               ) -> ReplayOutcome:
+        """Re-run one entry under its recorded oracle config."""
+        return replay_entry(self.get(case_id), oracle=oracle)
+
+
+def replay_entry(entry: Dict[str, Any],
+                 oracle: Optional[DifferentialOracle] = None
+                 ) -> ReplayOutcome:
+    """Replay a corpus entry dict (from a store or a JSON fixture)
+    under its recorded oracle config *and* semantics."""
+    case = FuzzCase.from_dict(entry["case"])
+    config = OracleConfig.from_dict(entry["oracle"])
+    semantics = semantics_from_dict(entry.get("semantics"))
+    engine = oracle.engine if oracle is not None else None
+    oracle = DifferentialOracle(engine=engine, config=config,
+                                semantics=semantics)
+    return ReplayOutcome(entry, oracle.run_case(case))

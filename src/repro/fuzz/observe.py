@@ -1,0 +1,216 @@
+"""Observations: what one executor did with one stimulus.
+
+The differential oracle never compares traces directly — it compares
+:class:`Observation` values, a small, picklable, executor-neutral
+summary of one run:
+
+* the **observable payloads** (external calls with argument values,
+  context-attribute assignments, events emitted to self) exactly as
+  :func:`repro.semantics.trace.observable_equal` defines them, with
+  :class:`~repro.semantics.trace.TraceKind` flattened to its string
+  value so observations survive the on-disk cache;
+* whether the run ended **in the final state**;
+* the set of trace-record **kinds** seen (internal ones included) — not
+  compared, but fed to the runner's coverage map;
+* an **error** string when the executor raised instead of finishing
+  (``unsupported: ...`` when a codegen pattern rejects the machine's
+  shape — skipped by the oracle, because a documented feature gap is
+  not a semantic divergence).
+
+Two helpers produce them: :func:`observe_interpreter_many` runs the
+reference semantics, :func:`observe_vm_many` compiles once and runs
+every stimulus on a fresh simulator boot.  Both are pure functions of
+their arguments — which is what lets the engine cache them by content
+fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..codegen.base import CodegenError
+from ..compiler.driver import OptLevel
+from ..semantics.runtime import ExecutionError, MachineInstance
+from ..semantics.trace import Trace
+from ..semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
+from ..uml.statemachine import StateMachine
+from ..vm.encoding import EncodingError
+from ..vm.machine import VMError
+
+__all__ = ["Observation", "observe_interpreter_many", "observe_vm_many",
+           "cached_interp_observations", "cached_vm_observations",
+           "UNSUPPORTED_PREFIX"]
+
+#: Error prefix marking "this executor rejects the machine's shape"
+#: (e.g. nested-switch refusing cross-region transitions).
+UNSUPPORTED_PREFIX = "unsupported: "
+
+PlainStimulus = Sequence[Tuple[str, int]]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One executor's externally-visible behavior on one stimulus."""
+
+    payloads: Tuple[Tuple[str, Tuple], ...] = ()
+    final: bool = False
+    terminated: bool = False
+    kinds: Tuple[str, ...] = ()
+    error: Optional[str] = None
+    #: Event-pool high-water mark (reference runs only).  The generated
+    #: runtimes hold a single pending event, so the oracle rejects
+    #: references that queue more than one at a time.
+    pool_depth: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def unsupported(self) -> bool:
+        return self.error is not None and \
+            self.error.startswith(UNSUPPORTED_PREFIX)
+
+    def matches(self, other: "Observation") -> bool:
+        """Observable agreement (payloads + end-state verdicts)."""
+        return (self.payloads == other.payloads
+                and self.final == other.final
+                and self.terminated == other.terminated)
+
+    def first_difference(self, other: "Observation") -> str:
+        """Human-readable description of the first disagreement."""
+        if self.error or other.error:
+            return f"errors: {self.error!r} vs {other.error!r}"
+        for i, (a, b) in enumerate(zip(self.payloads, other.payloads)):
+            if a != b:
+                return f"record {i}: {a} vs {b}"
+        if len(self.payloads) != len(other.payloads):
+            shorter = min(len(self.payloads), len(other.payloads))
+            longer = (self.payloads if len(self.payloads) > shorter
+                      else other.payloads)
+            return (f"record {shorter}: one side ends, other has "
+                    f"{longer[shorter]}")
+        if self.final != other.final:
+            return f"final-state: {self.final} vs {other.final}"
+        if self.terminated != other.terminated:
+            return f"termination: {self.terminated} vs {other.terminated}"
+        return "no difference"
+
+    def max_assigned_magnitude(self) -> int:
+        """Largest |value| this run assigned to a context attribute
+        (the runner's word-width screen uses it)."""
+        worst = 0
+        for kind, detail in self.payloads:
+            if kind == "assign" and len(detail) == 2:
+                worst = max(worst, abs(int(detail[1])))
+        return worst
+
+
+def _trace_payloads(trace: Trace) -> Tuple[Tuple[str, Tuple], ...]:
+    return tuple((r.kind.value, r.detail) for r in trace.records
+                 if r.is_observable)
+
+
+def _trace_kinds(trace: Trace) -> Tuple[str, ...]:
+    return tuple(sorted({r.kind.value for r in trace.records}))
+
+
+def cached_interp_observations(engine, machine: StateMachine, stimuli,
+                               semantics: SemanticsConfig =
+                               UML_DEFAULT_SEMANTICS
+                               ) -> Tuple[Observation, ...]:
+    """:func:`observe_interpreter_many` through an
+    :class:`~repro.engine.ExperimentEngine`'s content-addressed cache.
+
+    The fuzz layer wraps the engine's generic ``get_or_compute``
+    surface rather than the engine knowing about fuzz types — the
+    engine stays the infrastructure layer.  *stimuli* is plain data (a
+    sequence of event sequences of ``(name, payload)`` pairs), so keys
+    are stable across processes and a corpus replay can be served from
+    a warm disk cache."""
+    from ..engine.fingerprint import interp_observation_fingerprint
+    key = interp_observation_fingerprint(machine, stimuli, semantics)
+    return engine.cache.get_or_compute(
+        key, lambda: observe_interpreter_many(machine, stimuli,
+                                              semantics))
+
+
+def cached_vm_observations(engine, machine: StateMachine, stimuli,
+                           pattern: str = "flat-switch",
+                           level: OptLevel = OptLevel.OS,
+                           target=None) -> Tuple[Observation, ...]:
+    """:func:`observe_vm_many` through the engine cache: one generate +
+    compile + assemble, one fresh simulator boot per stimulus.  The
+    fixed-code runtimes implement the UML-default semantics, so there
+    is no semantics parameter to vary."""
+    from ..engine.fingerprint import vm_observation_fingerprint
+    key = vm_observation_fingerprint(machine, stimuli, pattern, level,
+                                     target)
+    return engine.cache.get_or_compute(
+        key, lambda: observe_vm_many(machine, stimuli, pattern=pattern,
+                                     level=level, target=target))
+
+
+def observe_interpreter_many(machine: StateMachine,
+                             stimuli: Sequence[PlainStimulus],
+                             semantics: SemanticsConfig =
+                             UML_DEFAULT_SEMANTICS,
+                             ) -> Tuple[Observation, ...]:
+    """Run every stimulus on the reference interpreter."""
+    out = []
+    for stimulus in stimuli:
+        instance = MachineInstance(machine, config=semantics)
+        try:
+            instance.start()
+            for name, payload in stimulus:
+                if instance.is_terminated:
+                    break
+                instance.dispatch(name, priority=payload)
+        except ExecutionError as exc:
+            out.append(Observation(
+                payloads=_trace_payloads(instance.trace),
+                kinds=_trace_kinds(instance.trace),
+                error=f"ExecutionError: {exc}",
+                pool_depth=instance.max_pool_depth))
+            continue
+        out.append(Observation(
+            payloads=_trace_payloads(instance.trace),
+            final=instance.in_final,
+            terminated=instance.is_terminated,
+            kinds=_trace_kinds(instance.trace),
+            pool_depth=instance.max_pool_depth))
+    return tuple(out)
+
+
+def observe_vm_many(machine: StateMachine,
+                    stimuli: Sequence[PlainStimulus],
+                    pattern: str = "flat-switch",
+                    level: OptLevel = OptLevel.OS,
+                    target=None) -> Tuple[Observation, ...]:
+    """Compile once, then run every stimulus on a fresh simulator."""
+    from ..vm.harness import CompiledProgram
+    try:
+        program = CompiledProgram(machine, pattern, level=level,
+                                  target=target)
+    except CodegenError as exc:
+        failure = Observation(error=f"{UNSUPPORTED_PREFIX}{exc}")
+        return tuple(failure for _ in stimuli)
+    except Exception as exc:
+        failure = Observation(
+            error=f"compile/assemble {type(exc).__name__}: {exc}")
+        return tuple(failure for _ in stimuli)
+    out = []
+    for stimulus in stimuli:
+        try:
+            vm = program.boot()
+            for name, _payload in stimulus:
+                vm.dispatch(name)
+            out.append(Observation(
+                payloads=_trace_payloads(vm.trace),
+                final=vm.is_final(),
+                kinds=_trace_kinds(vm.trace)))
+        except (VMError, EncodingError) as exc:
+            out.append(Observation(
+                error=f"{type(exc).__name__}: {exc}"))
+    return tuple(out)

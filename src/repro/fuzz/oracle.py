@@ -1,0 +1,322 @@
+"""The N-way differential oracle.
+
+For one :class:`~repro.fuzz.case.FuzzCase` the oracle runs every
+stimulus through
+
+1. the **reference**: the UML interpreter on the case machine;
+2. the **model-optimizer executor**: the interpreter on the optimized
+   clone (default pipeline — or the deliberately broken pipeline when
+   ``inject_bug``/an explicit ``model_selection`` says so);
+3. one **compiled VM per grid cell**: pattern × optimization level ×
+   target, generated, compiled, assembled and executed on the ISA
+   simulator.
+
+and compares the :class:`~repro.fuzz.observe.Observation` of every
+executor against the reference.  All executor runs go through the
+:class:`~repro.engine.ExperimentEngine` — content-addressed caching
+dedupes repeated (machine, stimuli, cell) work across cases, shrink
+attempts and corpus replays, and ``engine.map`` runs the grid on the
+engine's worker pool.
+
+Cases whose *reference* run is not well defined (the interpreter raises
+— unguarded completion cycles, emit storms past the RTC budget — or an
+attribute assignment leaves the simulator's 32-bit value range) are
+**rejected**, not failed: like Csmith skipping undefined-behavior
+programs, the oracle only judges executors on programs the semantics
+fully defines.  A grid cell whose codegen pattern *documents* the
+machine as unsupported (``unsupported:`` observations, e.g.
+cross-region transitions under nested-switch) is counted as skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..compiler.driver import OptLevel
+from ..engine import ExperimentEngine
+from ..semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
+from ..uml.statemachine import StateMachine
+from .bugs import INJECTED_PIPELINE, buggy_pass_manager
+from .case import FuzzCase
+from .observe import (Observation, cached_interp_observations,
+                      cached_vm_observations)
+
+__all__ = ["OracleConfig", "Divergence", "CaseResult",
+           "DifferentialOracle", "MODEL_OPT_EXECUTOR", "VALUE_BOUND"]
+
+#: Executor id of the model-optimizer comparison.
+MODEL_OPT_EXECUTOR = "model-opt"
+
+#: Reference runs assigning any |value| beyond this are rejected: the
+#: simulator stores attributes in 32-bit words, the interpreter in
+#: unbounded Python ints, so only the agreeing range is well defined.
+VALUE_BOUND = 2 ** 31 - 1
+
+_LEVELS = {level.value: level for level in OptLevel}
+
+
+def _vm_executor_id(pattern: str, level: OptLevel, target: str) -> str:
+    return f"vm:{pattern}/{level.value}/{target}"
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Which executors one oracle run compares.
+
+    ``patterns=None`` means *unpinned*: a direct oracle run uses
+    flat-switch, and the :class:`~repro.fuzz.runner.FuzzRunner`
+    rotates one pattern per case.  An explicit tuple pins the grid —
+    the runner never rotates past it.
+    """
+
+    patterns: Optional[Tuple[str, ...]] = None
+    targets: Tuple[str, ...] = ("rt32", "rt16")
+    levels: Tuple[str, ...] = ("-O0", "-O1", "-O2", "-Os")
+    check_optimized: bool = True
+    inject_bug: bool = False
+    #: Explicit pass selection for the model-opt executor (overrides
+    #: the default pipeline; may name injected passes).  ``None`` means
+    #: the default pipeline — or :data:`INJECTED_PIPELINE` when
+    #: ``inject_bug`` is set.
+    model_selection: Optional[Tuple[str, ...]] = None
+    #: Exact executor pinning (the shrinker's narrowed re-checks): when
+    #: set, the VM grid is exactly these ``vm:...`` ids — not the
+    #: cross-product of their components — and the pattern/level/target
+    #: tuples above are ignored.
+    executors: Optional[Tuple[str, ...]] = None
+
+    def cells(self) -> List[Tuple[str, OptLevel, str]]:
+        if self.executors is not None:
+            out = []
+            for executor in self.executors:
+                if executor == MODEL_OPT_EXECUTOR:
+                    continue
+                pattern, level, target = \
+                    executor.split(":", 1)[1].split("/")
+                out.append((pattern, _LEVELS[level], target))
+            return out
+        patterns = self.patterns if self.patterns is not None \
+            else ("flat-switch",)
+        return [(pattern, _LEVELS[level], target)
+                for pattern in patterns
+                for level in self.levels
+                for target in self.targets]
+
+    def selection(self) -> Optional[Tuple[str, ...]]:
+        if self.model_selection is not None:
+            return self.model_selection
+        if self.inject_bug:
+            return INJECTED_PIPELINE
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"patterns": (list(self.patterns)
+                             if self.patterns is not None else None),
+                "targets": list(self.targets),
+                "levels": list(self.levels),
+                "check_optimized": self.check_optimized,
+                "inject_bug": self.inject_bug,
+                "model_selection": (list(self.model_selection)
+                                    if self.model_selection is not None
+                                    else None),
+                "executors": (list(self.executors)
+                              if self.executors is not None else None)}
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "OracleConfig":
+        selection = data.get("model_selection")
+        executors = data.get("executors")
+        patterns = data.get("patterns")
+        return OracleConfig(
+            patterns=tuple(patterns) if patterns is not None else None,
+            targets=tuple(data.get("targets", ("rt32", "rt16"))),
+            levels=tuple(data.get("levels",
+                                  ("-O0", "-O1", "-O2", "-Os"))),
+            check_optimized=bool(data.get("check_optimized", True)),
+            inject_bug=bool(data.get("inject_bug", False)),
+            model_selection=(tuple(selection) if selection is not None
+                             else None),
+            executors=(tuple(executors) if executors is not None
+                       else None))
+
+    def narrowed_to(self, executors: Sequence[str]) -> "OracleConfig":
+        """The cheapest config that still runs *executors* — exactly
+        the executors that diverged, not the cross-product of their
+        components (the shrinker's re-checks must not latch onto a
+        divergence in a cell that was never observed diverging)."""
+        pinned = tuple(sorted(set(executors)))
+        return replace(self, executors=pinned,
+                       check_optimized=MODEL_OPT_EXECUTOR in pinned)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One executor disagreeing with the reference on one stimulus."""
+
+    executor: str
+    stimulus_index: int
+    reason: str
+
+    def summary(self) -> str:
+        return (f"{self.executor} @ stimulus {self.stimulus_index}: "
+                f"{self.reason}")
+
+
+@dataclass
+class CaseResult:
+    """Everything one oracle run concluded about one case."""
+
+    case: FuzzCase
+    status: str = "ok"                    # ok | rejected | diverged
+    reject_reason: str = ""
+    divergences: List[Divergence] = field(default_factory=list)
+    executors_run: int = 0
+    cells_skipped: int = 0
+    coverage: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def diverged(self) -> bool:
+        return self.status == "diverged"
+
+    def divergent_executors(self) -> Tuple[str, ...]:
+        return tuple(sorted({d.executor for d in self.divergences}))
+
+    def summary(self) -> str:
+        head = self.case.describe()
+        if self.status == "rejected":
+            return f"{head}: rejected ({self.reject_reason})"
+        if self.status == "diverged":
+            return (f"{head}: {len(self.divergences)} divergence(s), "
+                    f"first: {self.divergences[0].summary()}")
+        return (f"{head}: agreed across {self.executors_run} "
+                f"executor(s)")
+
+
+class DifferentialOracle:
+    """Runs cases through every executor and compares observations."""
+
+    def __init__(self, engine: Optional[ExperimentEngine] = None,
+                 config: OracleConfig = OracleConfig(),
+                 semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS
+                 ) -> None:
+        self.engine = engine if engine is not None else ExperimentEngine()
+        self.config = config
+        self.semantics = semantics
+
+    # -- executors ----------------------------------------------------------
+
+    def _optimized_machine(self, machine: StateMachine) -> StateMachine:
+        selection = self.config.selection()
+        if self.config.inject_bug or \
+                self.config.model_selection is not None:
+            # Injected/explicit pipelines bypass the engine cache: the
+            # default catalog (and so the cached optimize entry point)
+            # does not know the planted passes.
+            manager = buggy_pass_manager(semantics=self.semantics)
+            return manager.run(machine, selection=selection).optimized
+        return self.engine.optimize_model(machine,
+                                          semantics=self.semantics).optimized
+
+    def run_case(self, case: FuzzCase) -> CaseResult:
+        result = CaseResult(case=case,
+                            coverage=_case_coverage_shape(case))
+        stimuli = case.plain_stimuli()
+        reference = cached_interp_observations(self.engine, case.machine,
+                                               stimuli, self.semantics)
+        result.coverage = result.coverage + _observation_coverage(reference)
+
+        # Csmith-style screen: only judge fully defined references.
+        for index, obs in enumerate(reference):
+            if not obs.ok:
+                result.status = "rejected"
+                result.reject_reason = \
+                    f"reference stimulus {index}: {obs.error}"
+                return result
+            if obs.max_assigned_magnitude() > VALUE_BOUND:
+                result.status = "rejected"
+                result.reject_reason = (f"reference stimulus {index}: "
+                                        "assigned value exceeds the 32-bit "
+                                        "agreement range")
+                return result
+            if obs.pool_depth > 1:
+                result.status = "rejected"
+                result.reject_reason = (
+                    f"reference stimulus {index}: queues "
+                    f"{obs.pool_depth} pending events (the generated "
+                    "runtimes hold a single-slot pool)")
+                return result
+
+        executors: List[Tuple[str, Any]] = []
+        if self.config.check_optimized:
+            optimized = self._optimized_machine(case.machine)
+            executors.append((
+                MODEL_OPT_EXECUTOR,
+                lambda optimized=optimized: cached_interp_observations(
+                    self.engine, optimized, stimuli, self.semantics)))
+        for pattern, level, target in self.config.cells():
+            executors.append((
+                _vm_executor_id(pattern, level, target),
+                lambda p=pattern, l=level, t=target:
+                    cached_vm_observations(self.engine, case.machine,
+                                           stimuli, pattern=p, level=l,
+                                           target=t)))
+
+        observations = self.engine.map(lambda item: item[1](), executors)
+        for (executor, _), observed in zip(executors, observations):
+            if all(obs.unsupported for obs in observed) and observed:
+                result.cells_skipped += 1
+                continue
+            result.executors_run += 1
+            result.coverage = result.coverage + \
+                _observation_coverage(observed)
+            for index, (ref, obs) in enumerate(zip(reference, observed)):
+                if not obs.ok:
+                    result.divergences.append(Divergence(
+                        executor, index, f"executor raised: {obs.error}"))
+                elif not ref.matches(obs):
+                    result.divergences.append(Divergence(
+                        executor, index, ref.first_difference(obs)))
+        if result.divergences:
+            result.status = "diverged"
+        return result
+
+
+# ---------------------------------------------------------------------------
+# coverage signatures
+# ---------------------------------------------------------------------------
+
+def _bucket(n: int) -> str:
+    if n == 0:
+        return "0"
+    if n <= 2:
+        return "1-2"
+    if n <= 5:
+        return "3-5"
+    if n <= 10:
+        return "6-10"
+    return "11+"
+
+
+def _case_coverage_shape(case: FuzzCase) -> Tuple[str, ...]:
+    n_states = sum(1 for _ in case.machine.all_states())
+    n_trans = sum(1 for _ in case.machine.all_transitions())
+    items = {f"shape:states:{_bucket(n_states)}",
+             f"shape:transitions:{_bucket(n_trans)}"}
+    items.update(f"feature:{feature}" for feature in case.features)
+    return tuple(sorted(items))
+
+
+def _observation_coverage(observations: Sequence[Observation]
+                          ) -> Tuple[str, ...]:
+    items = set()
+    for obs in observations:
+        items.update(f"trace:{kind}" for kind in obs.kinds)
+        items.add(f"observable:{_bucket(len(obs.payloads))}")
+        if obs.final:
+            items.add("end:final")
+    return tuple(sorted(items))

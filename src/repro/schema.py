@@ -29,7 +29,9 @@ __all__ = ["SCHEMA_VERSION", "schema_stamp"]
 
 #: Generation counter of the engine's cached result schemas.  Bump on
 #: any change that alters what a cached artifact deserializes to.
-SCHEMA_VERSION = 1
+#: Generation 2: fuzz Observations (pool_depth field) + expression-call
+#: tracing in interpreter traces.
+SCHEMA_VERSION = 2
 
 
 def schema_stamp() -> str:

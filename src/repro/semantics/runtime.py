@@ -71,11 +71,18 @@ class MachineInstance:
         self.config = config
         self.externals = dict(externals or {})
         self.attributes: Dict[str, int] = dict(machine.context.attributes)
+        self._env_memo: Optional[Dict[str, Callable]] = None
         self.trace = Trace()
         # Active configuration: path of states, outermost -> innermost.
         self._active: List[State] = []
         self._history: Dict[int, str] = {}   # region id -> last substate name
         self._pool: deque = deque()
+        #: High-water mark of the event pool.  The generated runtimes
+        #: implement the paper's single-slot pending event, which is
+        #: FIFO-equivalent exactly while this never exceeds 1; the fuzz
+        #: oracle screens on it (a model that emits while another event
+        #: is already pending is outside the fixed-code contract).
+        self.max_pool_depth = 0
         self._deferred: List[Tuple[str, int]] = []
         self._completion_queue: deque = deque()
         self._completion_consumed: Set[int] = set()
@@ -117,6 +124,7 @@ class MachineInstance:
             raise ExecutionError("dispatch before start()")
         name = event.name if isinstance(event, Event) else str(event)
         self._pool.append((name, priority))
+        self.max_pool_depth = max(self.max_pool_depth, len(self._pool))
         self._run_to_completion()
         return self
 
@@ -186,6 +194,7 @@ class MachineInstance:
         # Deferred events return to the pool ahead of newer arrivals.
         for item in reversed(recalled):
             self._pool.appendleft(item)
+        self.max_pool_depth = max(self.max_pool_depth, len(self._pool))
 
     def _drain_completions(self) -> None:
         """Dispatch completion events, which outrank pooled events when the
@@ -455,28 +464,62 @@ class MachineInstance:
                 self.attributes[stmt.target] = value
                 self.trace.append(TraceKind.ASSIGN, stmt.target, value)
             elif isinstance(stmt, CallStmt):
-                args = tuple(int(eval_expr(a, self.attributes,
-                                           self._external_env()))
+                env = self._external_env()
+                args = tuple(int(eval_expr(a, self.attributes, env))
                              for a in stmt.call.args)
-                self.trace.append(TraceKind.CALL, stmt.call.func, args)
-                fn = self.externals.get(stmt.call.func)
-                if fn is not None:
-                    fn(*args)
+                # One tracer for every call position: statement calls
+                # go through the same traced wrapper as calls inside
+                # guard/assign expressions (undeclared operations get a
+                # wrapper on the fly — unvalidated machines only).
+                fn = env.get(stmt.call.func)
+                if fn is None:
+                    fn = self._traced_external(
+                        stmt.call.func, self.externals.get(stmt.call.func))
+                fn(*args)
             elif isinstance(stmt, EmitStmt):
                 self.trace.append(TraceKind.EMIT, stmt.event_name)
                 self._pool.append((stmt.event_name, 0))
+                self.max_pool_depth = max(self.max_pool_depth,
+                                          len(self._pool))
             else:  # pragma: no cover - defensive
                 raise ExecutionError(f"unknown statement {stmt!r}")
 
     def _external_env(self) -> Dict[str, Callable]:
         """Expression-evaluation environment: mapped externals plus a
-        zero-returning default for declared but unmapped operations."""
-        env: Dict[str, Callable] = {
-            name: (lambda *args: 0)
-            for name in self.machine.context.operations
-        }
-        env.update(self.externals)
-        return env
+        zero-returning default for declared but unmapped operations.
+
+        Every callable is wrapped in a tracer: an external call is
+        observable no matter where it appears syntactically — a call
+        *statement*, an assign's right-hand side, a guard — because the
+        generated code performs a real ``call`` instruction in each of
+        those positions (the VM harness logs them all).  Tracing at
+        call time keeps the record order identical to the compiled
+        code's evaluation order (arguments left to right, ``&&``/``||``
+        short-circuiting).
+        """
+        if self._env_memo is None:
+            # Built once per instance: operations and the externals
+            # mapping are fixed at construction, and guards/effects
+            # request this environment on every single evaluation.
+            env: Dict[str, Callable] = {
+                name: self._traced_external(name, self.externals.get(name))
+                for name in self.machine.context.operations
+            }
+            for name, fn in self.externals.items():
+                if name not in env:
+                    env[name] = self._traced_external(name, fn)
+            self._env_memo = env
+        return self._env_memo
+
+    def _traced_external(self, name: str, fn: Optional[Callable]) -> Callable:
+        def call(*args):
+            int_args = tuple(int(a) for a in args)
+            self.trace.append(TraceKind.CALL, name, int_args)
+            if fn is None:
+                return 0
+            result = fn(*int_args)
+            return 0 if result is None else result
+        return call
 
     def _check_step_budget(self) -> None:
         self._steps += 1

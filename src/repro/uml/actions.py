@@ -312,14 +312,22 @@ def const_fold(expr: Expr) -> Expr:
                 return rhs
             if _is_true(rhs) and _is_boolean_valued(lhs):
                 return lhs
-            if _is_false(lhs) or _is_false(rhs):
+            # `false && x` never evaluates x (short-circuit), but
+            # `x && false` still evaluates x first — dropping x is only
+            # sound when it performs no external calls (calls are
+            # observable platform actions, even from inside a guard).
+            if _is_false(lhs):
+                return BoolLit(False)
+            if _is_false(rhs) and _is_pure(lhs):
                 return BoolLit(False)
         if expr.op == "||":
             if _is_false(lhs) and _is_boolean_valued(rhs):
                 return rhs
             if _is_false(rhs) and _is_boolean_valued(lhs):
                 return lhs
-            if _is_true(lhs) or _is_true(rhs):
+            if _is_true(lhs):
+                return BoolLit(True)
+            if _is_true(rhs) and _is_pure(lhs):
                 return BoolLit(True)
         return folded
     if isinstance(expr, CallExpr):
@@ -339,6 +347,11 @@ def _is_true(expr: Expr) -> bool:
 
 def _is_false(expr: Expr) -> bool:
     return isinstance(expr, BoolLit) and expr.value is False
+
+
+def _is_pure(expr: Expr) -> bool:
+    """No external calls anywhere in *expr* (safe to not evaluate)."""
+    return not called_functions(expr)
 
 
 _BOOLEAN_OPS = {"&&", "||", "<", "<=", ">", ">=", "==", "!="}

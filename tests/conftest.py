@@ -1,0 +1,87 @@
+"""Shared fixtures for the whole test tree.
+
+Fixtures here cover the three things almost every subsystem's tests
+set up by hand: a temporary artifact store, the registered targets,
+and a couple of small well-understood machines (the paper's Fig. 1
+shapes).  Individual test modules keep their own specialized builders;
+these are the common denominators.
+
+The ``slow`` and ``fuzz`` markers are registered in ``pyproject.toml``;
+``fuzz``-marked tests run real multi-cell differential fuzzing and are
+kept small enough for tier-1, but the marker lets a developer
+``-m "not fuzz"`` while iterating on an unrelated layer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.target import get_target
+from repro.engine import ExperimentEngine
+from repro.store import ArtifactStore
+from repro.uml import StateMachineBuilder
+
+
+@pytest.fixture
+def tmp_store(tmp_path):
+    """A fresh on-disk :class:`ArtifactStore` under pytest's tmp dir."""
+    return ArtifactStore(tmp_path / "store")
+
+
+@pytest.fixture
+def memory_engine():
+    """A private in-memory :class:`ExperimentEngine` (no disk)."""
+    return ExperimentEngine()
+
+
+@pytest.fixture
+def disk_engine(tmp_path):
+    """An engine persisting to a tmp ``--cache-dir`` style store."""
+    return ExperimentEngine(cache_dir=str(tmp_path / "cache"))
+
+
+@pytest.fixture(params=["rt32", "rt16"])
+def any_target(request):
+    """Each registered backend target, by name."""
+    return get_target(request.param)
+
+
+@pytest.fixture
+def rt32():
+    return get_target("rt32")
+
+
+@pytest.fixture
+def flat_machine():
+    """The paper's Fig. 1 flat shape: S2 is unreachable."""
+    b = StateMachineBuilder("Fig1Flat")
+    b.state("S1", entry="s1_entry")
+    b.state("S2", entry="s2_entry")
+    b.state("S3", entry="s3_entry")
+    b.initial_to("S1")
+    b.transition("S1", "S3", on="e1")
+    b.transition("S3", "S1", on="e3")
+    b.transition("S2", "S3", on="e2")
+    b.transition("S3", "final", on="e4")
+    return b.build()
+
+
+@pytest.fixture
+def hierarchical_machine():
+    """The Fig. 1 hierarchical shape: an unguarded completion shadows
+    the event transition into the composite, killing it."""
+    b = StateMachineBuilder("Fig1Hier")
+    b.attribute("mode", 0)
+    b.state("S1", entry="s1_entry")
+    comp = b.composite("S3", entry="s3_entry")
+    comp.state("S31", entry="s31_entry")
+    comp.state("S32", entry="s32_entry")
+    comp.initial_to("S31")
+    comp.transition("S31", "S32", on="e31")
+    b.state("S2", entry="s2_entry")
+    b.initial_to("S1")
+    b.transition("S1", "S3", on="e1")      # shadowed by the completion
+    b.completion("S1", "S2")
+    b.transition("S2", "final", on="e2")
+    b.transition("S3", "final", on="e9")
+    return b.build()

@@ -1,0 +1,96 @@
+"""CLI smoke: run / corpus / replay / shrink round-trip, exit codes."""
+
+import pathlib
+
+import pytest
+
+from repro.fuzz.__main__ import main
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def _run(argv):
+    return main(argv)
+
+
+@pytest.mark.fuzz
+class TestRunCommand:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        code = _run(["run", "--cases", "6", "--seed", "3",
+                     "--corpus-dir", str(tmp_path / "corpus"),
+                     "--progress-every", "100"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 diverged" in out
+
+    def test_inject_bug_exits_one_and_persists(self, tmp_path, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        code = _run(["run", "--cases", "12", "--seed", "7",
+                     "--inject-bug", "--max-shrink", "1",
+                     "--patterns", "flat-switch",
+                     "--targets", "rt32", "--levels=-Os",
+                     "--corpus-dir", corpus_dir,
+                     "--progress-every", "100"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DIVERGENCE" in out
+        # ... and the minimized repro replays deterministically.
+        code = _run(["replay", "--corpus-dir", corpus_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reproduces" in out
+
+    def test_unknown_target_is_usage_error(self, tmp_path):
+        code = _run(["run", "--cases", "1",
+                     "--targets", "does-not-exist",
+                     "--corpus-dir", str(tmp_path / "c")])
+        assert code == 2
+
+
+@pytest.mark.fuzz
+class TestCorpusAndReplay:
+    def test_replay_fixture_file(self, tmp_path, capsys):
+        fixture = FIXTURES / "injected_bug_1.json"
+        code = _run(["replay", "--file", str(fixture),
+                     "--corpus-dir", str(tmp_path / "empty")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reproduces" in out
+
+    def test_corpus_list_show_export(self, tmp_path, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        _run(["run", "--cases", "12", "--seed", "7", "--inject-bug",
+              "--max-shrink", "1", "--patterns", "flat-switch",
+              "--targets", "rt32", "--levels=-Os",
+              "--corpus-dir", corpus_dir, "--progress-every", "100"])
+        capsys.readouterr()
+        assert _run(["corpus", "--corpus-dir", corpus_dir]) == 0
+        listing = capsys.readouterr().out.strip().splitlines()
+        assert listing
+        case_id = listing[0].split()[0]
+        assert _run(["corpus", "--corpus-dir", corpus_dir,
+                     "--show", case_id]) == 0
+        assert case_id in capsys.readouterr().out
+        exported = tmp_path / "out.json"
+        assert _run(["corpus", "--corpus-dir", corpus_dir, "--export",
+                     case_id, str(exported)]) == 0
+        assert exported.exists()
+
+    def test_empty_corpus_replay_is_usage_error(self, tmp_path, capsys):
+        code = _run(["replay", "--corpus-dir", str(tmp_path / "none")])
+        capsys.readouterr()
+        assert code == 2
+
+    def test_shrink_command_reshrinks_entry(self, tmp_path, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        _run(["run", "--cases", "12", "--seed", "7", "--inject-bug",
+              "--max-shrink", "1", "--patterns", "flat-switch",
+              "--targets", "rt32", "--levels=-Os",
+              "--corpus-dir", corpus_dir, "--progress-every", "100"])
+        capsys.readouterr()
+        _run(["corpus", "--corpus-dir", corpus_dir])
+        case_id = capsys.readouterr().out.split()[0]
+        code = _run(["shrink", case_id, "--corpus-dir", corpus_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shrink" in out and "stored" in out

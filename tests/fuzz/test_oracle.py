@@ -1,0 +1,251 @@
+"""Oracle behavior: agreement, rejection, divergence detection."""
+
+import pytest
+
+from repro.engine import ExperimentEngine
+from repro.fuzz import (DifferentialOracle, FuzzCase, MODEL_OPT_EXECUTOR,
+                        OracleConfig, Stimulus, generate_case)
+from repro.fuzz.generate import DEFAULT_PROFILES
+from repro.uml import Assign, Behavior, StateMachineBuilder, parse_expr
+
+
+def _guarded_machine():
+    """A machine whose guarded transition observably fires — the
+    injected drop-guarded-transitions bug must diverge on it."""
+    b = StateMachineBuilder("Guarded")
+    b.attribute("v", 1)
+    b.state("A")
+    b.state("B", entry="b_entry")
+    b.initial_to("A")
+    b.transition("A", "B", on="go", guard="v > 0",
+                 effect=Behavior(statements=(
+                     Assign("v", parse_expr("v + 1")),)))
+    b.transition("B", "A", on="back")
+    return b.build()
+
+
+def _case(machine, *event_names):
+    return FuzzCase(machine=machine,
+                    stimuli=(Stimulus.of(*event_names),))
+
+
+@pytest.mark.fuzz
+class TestOracleAgreement:
+    def test_small_grid_agrees(self, memory_engine, flat_machine):
+        oracle = DifferentialOracle(
+            engine=memory_engine,
+            config=OracleConfig(patterns=("flat-switch",),
+                                targets=("rt32",),
+                                levels=("-O0", "-Os")))
+        result = oracle.run_case(_case(flat_machine, "e1", "e3", "e4"))
+        assert result.ok, result.summary()
+        # model-opt + 2 VM cells
+        assert result.executors_run == 3
+
+    def test_hierarchical_agrees(self, memory_engine,
+                                 hierarchical_machine):
+        oracle = DifferentialOracle(
+            engine=memory_engine,
+            config=OracleConfig(patterns=("nested-switch",),
+                                targets=("rt16",), levels=("-Os",)))
+        result = oracle.run_case(
+            _case(hierarchical_machine, "e1", "e2", "e9"))
+        assert result.ok, result.summary()
+
+    def test_unknown_events_agree(self, memory_engine, flat_machine):
+        oracle = DifferentialOracle(
+            engine=memory_engine,
+            config=OracleConfig(patterns=("flat-switch",),
+                                targets=("rt32",), levels=("-Os",)))
+        result = oracle.run_case(
+            _case(flat_machine, "nope", "e1", "nope"))
+        assert result.ok, result.summary()
+
+
+@pytest.mark.fuzz
+class TestOracleRejection:
+    def test_undefined_reference_is_rejected_not_failed(self,
+                                                        memory_engine):
+        # An unguarded completion cycle blows the RTC step budget.
+        b = StateMachineBuilder("Cycle")
+        b.state("A")
+        b.state("B")
+        b.initial_to("A")
+        b.completion("A", "B")
+        b.completion("B", "A")
+        machine = b.build()
+        oracle = DifferentialOracle(
+            engine=memory_engine,
+            config=OracleConfig(patterns=("flat-switch",),
+                                targets=("rt32",), levels=("-Os",)))
+        result = oracle.run_case(_case(machine))
+        assert result.status == "rejected"
+        assert "reference" in result.reject_reason
+
+    def test_value_overflow_is_rejected(self, memory_engine):
+        # Repeated tripling escapes the 32-bit agreement range: the
+        # interpreter computes unbounded ints, the simulator wraps, so
+        # the case is undefined rather than a divergence.
+        b = StateMachineBuilder("Blowup")
+        b.attribute("v", 7)
+        b.state("A")
+        b.initial_to("A")
+        b.transition("A", "A", on="x",
+                     effect=Behavior(statements=(
+                         Assign("v", parse_expr("v * v")),)))
+        machine = b.build()
+        oracle = DifferentialOracle(
+            engine=memory_engine,
+            config=OracleConfig(patterns=("flat-switch",),
+                                targets=("rt32",), levels=("-Os",)))
+        result = oracle.run_case(_case(machine, *(["x"] * 6)))
+        assert result.status == "rejected"
+        assert "32-bit" in result.reject_reason
+
+    def test_double_emit_is_rejected_not_diverged(self, memory_engine):
+        # Two emits in one RTC step overflow the generated runtimes'
+        # single-slot pending event; outside the fixed-code contract.
+        from repro.uml import EmitStmt
+        b = StateMachineBuilder("DoubleEmit")
+        b.state("A")
+        b.state("B")
+        b.initial_to("A")
+        b.transition("A", "B", on="go",
+                     effect=Behavior(statements=(EmitStmt("ping"),
+                                                 EmitStmt("ping"))))
+        b.transition("B", "A", on="back")
+        machine = b.build()
+        oracle = DifferentialOracle(
+            engine=memory_engine,
+            config=OracleConfig(patterns=("nested-switch",),
+                                targets=("rt32",), levels=("-O0",)))
+        result = oracle.run_case(_case(machine, "go", "go"))
+        assert result.status == "rejected"
+        assert "single-slot" in result.reject_reason
+
+    def test_single_emit_cascades_are_executed(self, memory_engine):
+        from repro.uml import EmitStmt
+        b = StateMachineBuilder("SingleEmit")
+        b.state("A")
+        b.state("B", entry="b_entry")
+        b.initial_to("A")
+        b.transition("A", "B", on="go",
+                     effect=Behavior(statements=(EmitStmt("back"),)))
+        b.transition("B", "A", on="back", effect="ping")
+        machine = b.build()
+        oracle = DifferentialOracle(
+            engine=memory_engine,
+            config=OracleConfig(patterns=("flat-switch",),
+                                targets=("rt32", "rt16"),
+                                levels=("-Os",)))
+        result = oracle.run_case(_case(machine, "go", "go"))
+        assert result.ok, result.summary()
+
+    def test_unsupported_pattern_cell_is_skipped(self, memory_engine):
+        # Cross-region transition: flat-switch supports it,
+        # nested-switch documents it as unsupported.
+        b = StateMachineBuilder("Cross")
+        b.state("A")
+        comp = b.composite("C")
+        comp.state("X")
+        comp.initial_to("X")
+        b.initial_to("A")
+        b.transition("A", "X", on="deep")
+        b.transition("C", "A", on="out")
+        machine = b.build()
+        oracle = DifferentialOracle(
+            engine=memory_engine,
+            config=OracleConfig(patterns=("nested-switch",),
+                                targets=("rt32",), levels=("-Os",),
+                                check_optimized=False))
+        result = oracle.run_case(_case(machine, "deep", "out"))
+        assert result.ok
+        assert result.cells_skipped == 1
+        assert result.executors_run == 0
+
+
+@pytest.mark.fuzz
+class TestInjectedBug:
+    def test_injected_pass_diverges_and_is_attributed(self,
+                                                      memory_engine):
+        oracle = DifferentialOracle(
+            engine=memory_engine,
+            config=OracleConfig(patterns=("flat-switch",),
+                                targets=("rt32",), levels=("-Os",),
+                                inject_bug=True))
+        result = oracle.run_case(_case(_guarded_machine(), "go", "back"))
+        assert result.diverged
+        assert result.divergent_executors() == (MODEL_OPT_EXECUTOR,)
+        # The VM cells executed the *unoptimized* machine: no VM
+        # divergence, the planted bug is purely a model-level one.
+        assert all(d.executor == MODEL_OPT_EXECUTOR
+                   for d in result.divergences)
+
+    def test_clean_pipeline_on_same_case(self, memory_engine):
+        oracle = DifferentialOracle(
+            engine=memory_engine,
+            config=OracleConfig(patterns=("flat-switch",),
+                                targets=("rt32",), levels=("-Os",)))
+        result = oracle.run_case(_case(_guarded_machine(), "go", "back"))
+        assert result.ok, result.summary()
+
+
+@pytest.mark.fuzz
+def test_generated_cases_agree_on_small_grid(memory_engine):
+    """A mini acceptance run: a handful of generated cases per profile
+    across one cell per pattern family must be divergence-free."""
+    configs = [OracleConfig(patterns=("flat-switch",),
+                            targets=("rt32",), levels=("-O2",)),
+               OracleConfig(patterns=("state-table",),
+                            targets=("rt16",), levels=("-Os",))]
+    for profile in DEFAULT_PROFILES:
+        for seed in (11, 12):
+            case = generate_case(seed, profile)
+            for config in configs:
+                oracle = DifferentialOracle(engine=memory_engine,
+                                            config=config)
+                result = oracle.run_case(case)
+                assert not result.diverged, result.summary()
+
+
+@pytest.mark.fuzz
+def test_disk_engine_serves_warm_replay(disk_engine, any_target,
+                                        flat_machine):
+    """Observation runs are cached per fingerprint: replaying the same
+    case through a disk-backed engine is served without recompiling."""
+    config = OracleConfig(patterns=("flat-switch",),
+                          targets=(any_target.name,), levels=("-Os",),
+                          check_optimized=False)
+    oracle = DifferentialOracle(engine=disk_engine, config=config)
+    case = _case(flat_machine, "e1", "e3")
+    first = oracle.run_case(case)
+    assert first.ok
+    misses_after_first = disk_engine.stats.misses
+    second = oracle.run_case(case)
+    assert second.ok
+    assert disk_engine.stats.misses == misses_after_first
+    assert disk_engine.stats.hits > 0
+
+
+def test_narrowed_config_pins_exact_executors():
+    config = OracleConfig()
+    narrowed = config.narrowed_to(
+        ("vm:flat-switch/-O2/rt16", MODEL_OPT_EXECUTOR))
+    assert narrowed.check_optimized
+    assert [(p, l.value, t) for p, l, t in narrowed.cells()] == \
+        [("flat-switch", "-O2", "rt16")]
+    # Two diverged cells narrow to exactly those two — NOT the 2x2x2
+    # cross-product of their components.
+    two = config.narrowed_to(("vm:flat-switch/-O0/rt32",
+                              "vm:state-table/-Os/rt16"))
+    assert not two.check_optimized
+    assert sorted((p, l.value, t) for p, l, t in two.cells()) == \
+        [("flat-switch", "-O0", "rt32"), ("state-table", "-Os", "rt16")]
+
+
+def test_oracle_config_round_trips():
+    config = OracleConfig(patterns=("state-pattern",),
+                          targets=("rt16",), levels=("-O1",),
+                          check_optimized=False, inject_bug=True,
+                          model_selection=("simplify-guards",))
+    assert OracleConfig.from_dict(config.to_dict()) == config

@@ -1,0 +1,152 @@
+"""Shrinker minimality/determinism and corpus persistence."""
+
+import pytest
+
+from repro.fuzz import (Corpus, DifferentialOracle, FuzzCase,
+                        MODEL_OPT_EXECUTOR, OracleConfig, Stimulus,
+                        shrink_case)
+from repro.fuzz.corpus import entry_from_json, entry_to_json
+from repro.uml import Assign, Behavior, StateMachineBuilder, parse_expr
+
+
+def _noisy_guarded_machine():
+    """A guarded transition that matters, buried in noise the shrinker
+    should strip: extra states, transitions, behaviors."""
+    b = StateMachineBuilder("Noisy")
+    b.attribute("v", 1)
+    b.state("A", entry="a_entry")
+    b.state("B", entry="b_entry", exit="b_exit")
+    b.state("C", entry="c_entry")
+    b.state("D", entry="d_entry")
+    b.initial_to("A")
+    b.transition("A", "B", on="go", guard="v > 0",
+                 effect=Behavior(statements=(
+                     Assign("v", parse_expr("v + 1")),)))
+    b.transition("B", "C", on="hop", effect="hop_effect")
+    b.transition("C", "D", on="skip")
+    b.transition("D", "A", on="wrap")
+    b.transition("A", "C", on="jump")
+    b.transition("C", "final", on="bye")
+    return b.build()
+
+
+def _inject_oracle(engine):
+    return DifferentialOracle(
+        engine=engine,
+        config=OracleConfig(patterns=("flat-switch",),
+                            targets=("rt32",), levels=("-Os",),
+                            inject_bug=True))
+
+
+@pytest.mark.fuzz
+class TestShrink:
+    def test_minimizes_machine_and_stimulus(self, memory_engine):
+        oracle = _inject_oracle(memory_engine)
+        case = FuzzCase(
+            machine=_noisy_guarded_machine(),
+            stimuli=(Stimulus.of("jump", "bye"),          # clean
+                     Stimulus.of("go", "hop", "skip", "wrap", "jump")))
+        result = oracle.run_case(case)
+        assert result.diverged
+        report = shrink_case(case, result, oracle)
+        minimized = report.minimized
+        n_states = sum(1 for _ in minimized.machine.all_states())
+        n_events = sum(len(s) for s in minimized.stimuli)
+        assert n_states <= 2          # A and B are all the bug needs
+        assert len(minimized.stimuli) == 1
+        assert n_events == 1          # just "go"
+        assert report.result.diverged
+        assert report.result.divergent_executors() == \
+            (MODEL_OPT_EXECUTOR,)
+        # Event declarations not used by any surviving transition were
+        # swept; surviving transitions keep only load-bearing guards
+        # (the witness guard itself must survive — without it the
+        # planted drop-guarded-transitions pass has nothing to drop).
+        used = {trig.name for tr in minimized.machine.all_transitions()
+                for trig in tr.triggers}
+        declared = {e.name for e in minimized.machine.events.values()}
+        assert declared <= used
+        assert any(tr.guard is not None
+                   for tr in minimized.machine.all_transitions())
+
+    def test_shrink_is_deterministic(self, memory_engine):
+        oracle = _inject_oracle(memory_engine)
+        case = FuzzCase(machine=_noisy_guarded_machine(),
+                        stimuli=(Stimulus.of("go", "hop", "go"),))
+        result = oracle.run_case(case)
+        first = shrink_case(case, result, oracle).minimized
+        second = shrink_case(case, result, oracle).minimized
+        assert first.case_id == second.case_id
+
+
+@pytest.mark.fuzz
+class TestCorpus:
+    def test_persist_replay_export_import(self, tmp_path, memory_engine):
+        oracle = _inject_oracle(memory_engine)
+        case = FuzzCase(machine=_noisy_guarded_machine(),
+                        stimuli=(Stimulus.of("go",),))
+        result = oracle.run_case(case)
+        assert result.diverged
+
+        corpus = Corpus(tmp_path / "corpus")
+        case_id = corpus.add(case, oracle.config,
+                             expect=result.divergent_executors(),
+                             note="test entry")
+        assert corpus.ids() == [case_id]
+
+        outcome = corpus.replay(case_id, oracle=oracle)
+        assert outcome.reproduces, outcome.summary()
+
+        exported = tmp_path / "entry.json"
+        corpus.export_file(case_id, exported)
+        round_tripped = entry_from_json(exported.read_text())
+        assert round_tripped["id"] == case_id
+        assert entry_to_json(round_tripped) == \
+            entry_to_json(corpus.get(case_id))
+
+        other = Corpus(tmp_path / "other")
+        assert other.import_file(exported) == case_id
+        assert other.ids() == [case_id]
+
+    def test_replay_flags_vanished_divergence(self, tmp_path,
+                                              memory_engine):
+        """An entry whose expectation no longer matches must not
+        silently pass — that is how fixed bugs are noticed."""
+        case = FuzzCase(machine=_noisy_guarded_machine(),
+                        stimuli=(Stimulus.of("go",),))
+        corpus = Corpus(tmp_path / "corpus")
+        clean_config = OracleConfig(patterns=("flat-switch",),
+                                    targets=("rt32",), levels=("-Os",))
+        # Recorded as diverging, but replayed under the *clean*
+        # pipeline: nothing diverges, so it must not "reproduce".
+        case_id = corpus.add(case, clean_config,
+                             expect=(MODEL_OPT_EXECUTOR,))
+        outcome = corpus.replay(
+            case_id,
+            oracle=DifferentialOracle(engine=memory_engine,
+                                      config=clean_config))
+        assert not outcome.reproduces
+        assert outcome.observed == ()
+
+    def test_clean_pin_does_not_pass_vacuously_when_rejected(
+            self, tmp_path, memory_engine):
+        """A clean-expectation entry whose reference run is *rejected*
+        has zero divergences too — it must still not 'reproduce'."""
+        from repro.uml import EmitStmt
+        b = StateMachineBuilder("Storm")
+        b.state("A")
+        b.initial_to("A")
+        b.transition("A", "A", on="go",
+                     effect=Behavior(statements=(EmitStmt("x"),
+                                                 EmitStmt("x"))))
+        case = FuzzCase(machine=b.build(),
+                        stimuli=(Stimulus.of("go",),))
+        corpus = Corpus(tmp_path / "corpus")
+        config = OracleConfig(patterns=("flat-switch",),
+                              targets=("rt32",), levels=("-Os",))
+        case_id = corpus.add(case, config, expect=())
+        outcome = corpus.replay(
+            case_id, oracle=DifferentialOracle(engine=memory_engine,
+                                               config=config))
+        assert outcome.result.status == "rejected"
+        assert not outcome.reproduces
