@@ -23,8 +23,8 @@ from repro.analysis import find_dead_code, measure_model
 from repro.codegen import ALL_GENERATORS
 from repro.codegen.harness import GeneratedMachine
 from repro.compiler import OptLevel
+from repro.exec import InterpreterExecutor
 from repro.pipeline import compile_machine, optimize_and_compare
-from repro.semantics import run_scenario
 from repro.uml import Assign, StateMachineBuilder, calls, parse_expr
 
 
@@ -83,13 +83,13 @@ def main():
 
     # -- model debugging -----------------------------------------------
     print("model debugging trace (power_on, set_speed @60, at_target):")
-    instance = run_scenario(machine, [])
-    instance.attributes["speed"] = 60
+    instance = InterpreterExecutor().load(machine).start()
+    instance.inner.attributes["speed"] = 60   # poke the reference backend
     for event in ("power_on", "set_speed", "at_target"):
         instance.dispatch(event)
     for record in instance.trace.records[-10:]:
         print("   ", record)
-    print("active configuration:", instance.active_states)
+    print("active configuration:", instance.inner.active_states)
     print()
 
     # -- the dead diagnostics mode ----------------------------------------

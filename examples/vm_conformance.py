@@ -20,9 +20,9 @@ Run: ``python examples/vm_conformance.py``
 """
 
 from repro.compiler import OptLevel
+from repro.exec import InterpreterExecutor, run_scenario
 from repro.experiments.models import \
     hierarchical_machine_with_shadowed_composite
-from repro.semantics.runtime import run_scenario
 from repro.vm import CompiledProgram, check_vm_conformance
 
 
@@ -37,7 +37,7 @@ def main():
     events = ["e1", "e2", "e5", "e3"]
 
     section("1. the reference semantics (UML interpreter)")
-    reference = run_scenario(machine, events)
+    reference = run_scenario(InterpreterExecutor(), machine, events)
     observable = reference.trace.observable()
     print(f"interpreter ran {len(events)} events -> "
           f"{len(observable)} observable records")

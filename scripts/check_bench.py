@@ -31,9 +31,18 @@ With no ``BENCH_*.json`` checked in the script reports that and exits 0,
 so CI can run it unconditionally; ``BENCH_baseline.json`` is committed,
 which makes the guard active on every PR.
 
+``--fleet-smoke`` runs a different gate entirely: a fixed-seed
+10^4-instance fleet throughput smoke (``python -m repro.fleet smoke
+--json``), asserting an absolute sustained events/sec floor and a
+minimum speedup over per-instance interpretation.  Absolute floors are
+deliberately conservative (100k events/sec where the observed rate is
+tens of millions) so the gate trips on a broken vectorized path, not a
+slow runner.
+
 Usage:
     python scripts/check_bench.py [--fresh PATH] [--baseline PATH]
                                   [--threshold 0.25]
+    python scripts/check_bench.py --fleet-smoke
 
 Without ``--fresh`` the benchmark suite is run first (requires
 pytest-benchmark).
@@ -43,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import subprocess
 import sys
@@ -118,6 +128,44 @@ def compare(baseline: dict, fresh: dict, shared: list,
     return failures
 
 
+def run_fleet_smoke(min_events_per_sec: float, min_speedup: float,
+                    retries: int) -> int:
+    """The fleet throughput gate: shell out to the fixed-seed smoke,
+    parse its JSON, assert the floors.  Wall-clock, so a failed attempt
+    gets re-run (a genuinely broken fast path fails every time)."""
+    cmd = [sys.executable, "-m", "repro.fleet", "smoke",
+           "--instances", "10000", "--seed", "0", "--json"]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    for attempt in range(retries + 1):
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env,
+                              capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(proc.stderr, file=sys.stderr)
+            sys.exit(f"fleet smoke failed (exit {proc.returncode})")
+        result = json.loads(proc.stdout)
+        eps = result["events_per_sec"]
+        speedup = result["speedup_vs_interp"]
+        print(f"check_bench --fleet-smoke: {result['instances']} "
+              f"instances, {eps:,.0f} events/sec "
+              f"({result['lane_events']} lane-events), "
+              f"{speedup:.1f}x vs per-instance interpretation")
+        if eps >= min_events_per_sec and speedup >= min_speedup:
+            print(f"check_bench --fleet-smoke: PASS (floors: "
+                  f"{min_events_per_sec:,.0f} events/sec, "
+                  f"{min_speedup:.0f}x speedup)")
+            return 0
+        if attempt < retries:
+            print(f"check_bench --fleet-smoke: below floor; re-running "
+                  f"to rule out a noisy window "
+                  f"(retry {attempt + 1}/{retries})")
+    print(f"check_bench --fleet-smoke: FAIL - events/sec {eps:,.0f} "
+          f"(floor {min_events_per_sec:,.0f}) speedup {speedup:.1f}x "
+          f"(floor {min_speedup:.0f}x)")
+    return 1
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", type=pathlib.Path,
@@ -133,7 +181,22 @@ def main() -> int:
                         help="fresh re-runs merged by per-benchmark min "
                              "before declaring a regression (default: "
                              "%(default)s; 0 disables)")
+    parser.add_argument("--fleet-smoke", action="store_true",
+                        help="run the fixed-seed fleet throughput gate "
+                             "instead of the baseline comparison")
+    parser.add_argument("--min-events-per-sec", type=float,
+                        default=100_000.0,
+                        help="--fleet-smoke: absolute sustained "
+                             "events/sec floor (default: %(default)s)")
+    parser.add_argument("--min-speedup", type=float, default=10.0,
+                        help="--fleet-smoke: minimum speedup over "
+                             "per-instance interpretation "
+                             "(default: %(default)s)")
     args = parser.parse_args()
+
+    if args.fleet_smoke:
+        return run_fleet_smoke(args.min_events_per_sec, args.min_speedup,
+                               args.retries)
 
     if args.fresh is not None and not args.fresh.is_file():
         sys.exit(f"check_bench: fresh run file not found: {args.fresh}")

@@ -44,7 +44,8 @@ __all__ = ["machine_fingerprint", "semantics_key", "target_key",
            "compile_fingerprint", "optimize_fingerprint",
            "equivalence_fingerprint", "conformance_fingerprint",
            "stimuli_key", "interp_observation_fingerprint",
-           "vm_observation_fingerprint"]
+           "vm_observation_fingerprint", "fleet_observation_fingerprint",
+           "fleet_conformance_fingerprint"]
 
 
 #: Per-object memo so repeated lookups of the same machine (the engine
@@ -157,6 +158,28 @@ def vm_observation_fingerprint(machine: StateMachine, stimuli,
     return _digest("vm-observe", machine_fingerprint(machine),
                    stimuli_key(stimuli), pattern, level.value,
                    target_key(target))
+
+
+def fleet_observation_fingerprint(machine: StateMachine, stimuli,
+                                  semantics: SemanticsConfig =
+                                  UML_DEFAULT_SEMANTICS) -> str:
+    """Key of one fleet-engine observation run
+    (:func:`repro.fuzz.observe.observe_fleet_many`)."""
+    return _digest("fleet-observe", machine_fingerprint(machine),
+                   stimuli_key(stimuli), semantics_key(semantics))
+
+
+def fleet_conformance_fingerprint(machine: StateMachine,
+                                  semantics: SemanticsConfig =
+                                  UML_DEFAULT_SEMANTICS,
+                                  scenario_params: Optional[dict] = None,
+                                  ) -> str:
+    """Key of one fleet conformance run (interpreter vs. table engine,
+    scalar and vectorized paths)."""
+    params_key = json.dumps(scenario_params or {}, sort_keys=True,
+                            separators=(",", ":"))
+    return _digest("fleet-conformance", machine_fingerprint(machine),
+                   semantics_key(semantics), params_key)
 
 
 def conformance_fingerprint(machine: StateMachine, pattern: str,

@@ -1,0 +1,30 @@
+"""repro.exec — one Executor protocol over every execution backend.
+
+The repo grew three ways to run a state machine: the reference
+interpreter (:mod:`repro.semantics.runtime`), compiled code on the ISA
+simulator (:mod:`repro.vm.harness`), and the vectorized fleet engine
+(:mod:`repro.fleet`).  Each had its own construction dance and argument
+order.  This package is the redesign that unifies them:
+
+* :class:`Executor` — ``load(machine) -> Instance`` (compilation or
+  other scenario-independent work happens here, memoized per machine);
+* :class:`Instance` — ``start()``, ``dispatch(event)``,
+  ``step(event) -> new trace records``, ``trace`` / ``in_final`` /
+  ``is_terminated`` / ``attributes()`` observers;
+* :func:`run_scenario` — the one canonical entry point
+  ``run_scenario(executor, machine, stimuli)`` every backend shares
+  (the per-backend ``run_scenario`` / ``run_vm_scenario`` helpers are
+  deprecation shims over this).
+
+Adapters: :class:`InterpreterExecutor`, :class:`VMExecutor`,
+:class:`FleetExecutor`.
+"""
+
+from .protocol import (Executor, Instance, normalize_stimuli,
+                       run_scenario)
+from .adapters import (FleetExecutor, InterpreterExecutor, VMExecutor,
+                       default_executors)
+
+__all__ = ["Executor", "Instance", "run_scenario", "normalize_stimuli",
+           "InterpreterExecutor", "VMExecutor", "FleetExecutor",
+           "default_executors"]

@@ -1,0 +1,259 @@
+"""Executor adapters over the three execution backends.
+
+Each adapter owns the backend-specific configuration (semantics for
+the interpreter and fleet, pattern/level/target for the VM) and
+memoizes the scenario-independent compile per machine, keyed weakly so
+machines can be garbage collected.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict, Mapping, Optional, Union
+
+from ..compiler.driver import OptLevel
+from ..compiler.target.description import TargetDescription
+from ..fleet.engine import Fleet
+from ..fleet.table import TableProgram, compile_table
+from ..semantics.runtime import MachineInstance
+from ..semantics.trace import Trace
+from ..semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
+from ..uml.statemachine import StateMachine
+from ..vm.harness import CompiledProgram
+from .protocol import Executor, Instance
+
+__all__ = ["InterpreterExecutor", "VMExecutor", "FleetExecutor",
+           "default_executors"]
+
+
+# ---------------------------------------------------------------------------
+# interpreter
+# ---------------------------------------------------------------------------
+
+class _InterpreterInstance(Instance):
+    def __init__(self, machine: StateMachine, semantics: SemanticsConfig,
+                 externals: Optional[Mapping[str, Callable]]) -> None:
+        self.machine = machine
+        self.inner = MachineInstance(machine, config=semantics,
+                                     externals=externals)
+
+    def start(self) -> "Instance":
+        self.inner.start()
+        return self
+
+    def dispatch(self, event: object, payload: int = 0) -> "Instance":
+        self.inner.dispatch(event, priority=payload)
+        return self
+
+    @property
+    def is_started(self) -> bool:
+        return self.inner.is_started
+
+    @property
+    def trace(self) -> Trace:
+        return self.inner.trace
+
+    @property
+    def in_final(self) -> bool:
+        return self.inner.in_final
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.inner.is_terminated
+
+    def attributes(self) -> Dict[str, int]:
+        return dict(self.inner.attributes)
+
+
+class InterpreterExecutor(Executor):
+    """The reference semantics (:mod:`repro.semantics.runtime`)."""
+
+    name = "interp"
+
+    def __init__(self, semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS
+                 ) -> None:
+        self.semantics = semantics
+
+    def load(self, machine: StateMachine, *,
+             externals: Optional[Mapping[str, Callable]] = None
+             ) -> Instance:
+        return _InterpreterInstance(machine, self.semantics, externals)
+
+    def describe(self) -> str:
+        return f"interp[{self.semantics.describe()}]"
+
+
+# ---------------------------------------------------------------------------
+# compiled code on the ISA simulator
+# ---------------------------------------------------------------------------
+
+class _VMInstance(Instance):
+    def __init__(self, program: CompiledProgram,
+                 externals: Optional[Mapping[str, Callable]]) -> None:
+        self.machine = program.model
+        self.program = program
+        self._externals = externals
+        self.vm = None   # booted by start()
+
+    def start(self) -> "Instance":
+        if self.vm is not None:
+            raise RuntimeError("instance already started")
+        self.vm = self.program.boot(externals=self._externals)
+        return self
+
+    def _booted(self):
+        if self.vm is None:
+            raise RuntimeError("dispatch before start()")
+        return self.vm
+
+    def dispatch(self, event: object, payload: int = 0) -> "Instance":
+        self._booted().dispatch(event)
+        return self
+
+    @property
+    def is_started(self) -> bool:
+        return self.vm is not None
+
+    @property
+    def trace(self) -> Trace:
+        return self._booted().trace
+
+    @property
+    def in_final(self) -> bool:
+        return self._booted().is_final()
+
+    @property
+    def is_terminated(self) -> bool:
+        return False   # generated runtimes have no terminate support
+
+    def attributes(self) -> Dict[str, int]:
+        vm = self._booted()
+        return {name: vm.read_attribute(name)
+                for name in self.machine.context.attributes}
+
+    @property
+    def metrics(self):
+        """Backend extra: the simulator's deterministic cost counters."""
+        return self._booted().metrics
+
+
+class VMExecutor(Executor):
+    """Generated code, compiled and run on the RT ISA simulator.
+
+    ``load`` compiles once per machine (weakly memoized), so a
+    conformance sweep over many scenarios assembles one image and boots
+    a fresh simulator per instance.
+    """
+
+    name = "vm"
+
+    def __init__(self, pattern: str = "nested-switch",
+                 level: OptLevel = OptLevel.OS,
+                 target: Union[TargetDescription, str, None] = None) -> None:
+        self.pattern = pattern
+        self.level = level
+        self.target = target
+        self._programs: "weakref.WeakKeyDictionary[StateMachine, CompiledProgram]" = \
+            weakref.WeakKeyDictionary()
+
+    def program_for(self, machine: StateMachine) -> CompiledProgram:
+        program = self._programs.get(machine)
+        if program is None:
+            program = CompiledProgram(machine, self.pattern,
+                                      level=self.level, target=self.target)
+            self._programs[machine] = program
+        return program
+
+    def load(self, machine: StateMachine, *,
+             externals: Optional[Mapping[str, Callable]] = None
+             ) -> Instance:
+        return _VMInstance(self.program_for(machine), externals)
+
+    def describe(self) -> str:
+        return f"vm[{self.pattern}, {self.level.value}]"
+
+
+# ---------------------------------------------------------------------------
+# fleet tables
+# ---------------------------------------------------------------------------
+
+class _FleetInstance(Instance):
+    """Protocol view of lane 0 of a (usually width-1) fleet."""
+
+    def __init__(self, program: TableProgram, n_lanes: int, trace: bool,
+                 externals: Optional[Mapping[str, Callable]]) -> None:
+        self.machine = program.machine
+        self.fleet = Fleet(program, n_lanes, externals=externals,
+                           trace=trace)
+
+    def start(self) -> "Instance":
+        self.fleet.start()
+        return self
+
+    def dispatch(self, event: object, payload: int = 0) -> "Instance":
+        self.fleet.dispatch_all(event)
+        return self
+
+    @property
+    def is_started(self) -> bool:
+        return self.fleet.is_started
+
+    @property
+    def trace(self) -> Trace:
+        return self.fleet.trace_of(0)
+
+    @property
+    def in_final(self) -> bool:
+        return self.fleet.lane_in_final(0)
+
+    @property
+    def is_terminated(self) -> bool:
+        return False   # terminate is outside the fleet subset
+
+    def attributes(self) -> Dict[str, int]:
+        return self.fleet.attributes_of(0)
+
+
+class FleetExecutor(Executor):
+    """The vectorized table engine (:mod:`repro.fleet`).
+
+    Through the protocol an instance is lane 0 of an ``n_lanes``-wide
+    fleet (default 1); wider loads step every lane with the same
+    events, which is how the conformance suite cross-checks the
+    vectorized path against the scalar one.
+    """
+
+    name = "fleet"
+
+    def __init__(self, semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS,
+                 n_lanes: int = 1, trace: bool = True) -> None:
+        self.semantics = semantics
+        self.n_lanes = n_lanes
+        self.trace = trace
+        self._tables: "weakref.WeakKeyDictionary[StateMachine, TableProgram]" = \
+            weakref.WeakKeyDictionary()
+
+    def table_for(self, machine: StateMachine) -> TableProgram:
+        table = self._tables.get(machine)
+        if table is None:
+            table = compile_table(machine, self.semantics)
+            self._tables[machine] = table
+        return table
+
+    def load(self, machine: StateMachine, *,
+             externals: Optional[Mapping[str, Callable]] = None
+             ) -> Instance:
+        return _FleetInstance(self.table_for(machine), self.n_lanes,
+                              self.trace, externals)
+
+    def describe(self) -> str:
+        return f"fleet[n={self.n_lanes}]"
+
+
+def default_executors() -> Dict[str, Executor]:
+    """The three stock executors under their protocol names."""
+    return {
+        "interp": InterpreterExecutor(),
+        "vm": VMExecutor(),
+        "fleet": FleetExecutor(),
+    }

@@ -55,6 +55,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="persist compiled artifacts in a repro.store directory "
              "(tiered memory-over-disk cache); warm reruns are served "
              "from disk")
+    parser.add_argument(
+        "--throughput", action="store_true",
+        help="append the fleet throughput table (wall-clock, "
+             "non-deterministic; never part of the default output, "
+             "which CI diffs byte-for-byte across --jobs values)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
@@ -73,6 +78,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"# {title}  (target: {target.name})")
         print("#" * 72)
         print(module.main(target=target, engine=engine))
+        print()
+    if args.throughput:
+        print("#" * 72)
+        print(f"# FLEET THROUGHPUT  (target: {target.name})")
+        print("#" * 72)
+        print(dynamics.throughput_main(target=target, engine=engine))
         print()
     if args.cache_stats:
         print(engine.describe(), file=sys.stderr)

@@ -37,7 +37,8 @@ from ..uml.statemachine import StateMachine
 from .models import hierarchical_machine_with_shadowed_composite
 from .report import render_table
 
-__all__ = ["DynamicsRow", "run_dynamics", "main"]
+__all__ = ["DynamicsRow", "run_dynamics", "main",
+           "FleetThroughputRow", "run_fleet_throughput", "throughput_main"]
 
 #: Levels the dynamics table sweeps: unoptimized vs. the paper's -Os.
 LEVELS = (OptLevel.O0, OptLevel.OS)
@@ -111,6 +112,114 @@ def run_dynamics(machine: Optional[StateMachine] = None,
             conformant_after=after.conformant)
 
     return eng.map(run_cell, cells)
+
+
+@dataclass(frozen=True)
+class FleetThroughputRow:
+    """One machine's fleet-vs-interpreter throughput measurement.
+
+    ``events_per_sec``/``speedup`` are wall-clock and therefore
+    non-deterministic; ``lane_events``/``fast_fraction`` are exact.
+    """
+
+    machine_name: str
+    instances: int
+    shards: int
+    stream_events: int
+    lane_events: int
+    fast_fraction: float
+    events_per_sec: float
+    interp_events_per_sec: float
+
+    @property
+    def speedup(self) -> float:
+        if self.interp_events_per_sec == 0:
+            return float("inf")
+        return self.events_per_sec / self.interp_events_per_sec
+
+
+def run_fleet_throughput(machine: Optional[StateMachine] = None,
+                         n_instances: int = 10_000,
+                         n_events: int = 200,
+                         n_shards: int = 4,
+                         batch_size: int = 32,
+                         seed: int = 0,
+                         interp_sample: int = 25) -> FleetThroughputRow:
+    """Broadcast one event stream to an ``n_instances``-wide fleet and
+    to a small per-instance interpreter sample of the same workload.
+
+    Wall-clock by construction, so this axis never feeds the
+    deterministic experiment tables — it is opt-in via
+    ``python -m repro.experiments --throughput``.
+    """
+    import random as _random
+
+    from ..fleet.harness import FleetHarness
+    from ..fleet.table import compile_table
+    from ..semantics.runtime import MachineInstance
+    if machine is None:
+        machine = hierarchical_machine_with_shadowed_composite()
+    table = compile_table(machine)
+    alphabet = [e.name for e in machine.signal_alphabet()]
+    rng = _random.Random(seed)
+    events = [rng.choice(alphabet) for _ in range(n_events)]
+
+    harness = FleetHarness(table, n_instances=n_instances,
+                           n_shards=n_shards, batch_size=batch_size,
+                           routing="broadcast")
+    harness.start()
+    report = harness.run(events)
+
+    import time as _time
+    sample = min(interp_sample, n_instances)
+    began = _time.perf_counter()
+    for _ in range(sample):
+        instance = MachineInstance(machine)
+        instance.start()
+        for name in events:
+            instance.dispatch(name)
+    elapsed = _time.perf_counter() - began
+    interp_eps = (sample * len(events)) / elapsed if elapsed > 0 else 0.0
+
+    fast = sum(s.fast_fraction * s.lane_events for s in report.shards)
+    total = sum(s.lane_events for s in report.shards)
+    return FleetThroughputRow(
+        machine_name=machine.name,
+        instances=harness.n_lanes,
+        shards=harness.n_shards,
+        stream_events=len(events),
+        lane_events=report.lane_events,
+        fast_fraction=fast / total if total else 0.0,
+        events_per_sec=report.events_per_sec,
+        interp_events_per_sec=interp_eps)
+
+
+def throughput_main(target: Union[TargetDescription, str, None] = None,
+                    engine: Optional[ExperimentEngine] = None,
+                    jobs: int = 1) -> str:
+    """The opt-in wall-clock throughput table (``--throughput``)."""
+    from .workload import WorkloadSpec, generate_machine
+    machines = [
+        hierarchical_machine_with_shadowed_composite(),
+        generate_machine(WorkloadSpec(
+            n_live=8, n_dead=2, n_shadowed_composites=1,
+            composite_width=3, entry_calls=2, exit_calls=1,
+            events_per_state=2, guarded_fraction=0.25, seed=7,
+            name="ThroughputWorkload")),
+    ]
+    rows = [run_fleet_throughput(machine) for machine in machines]
+    table = render_table(
+        "Fleet throughput - vectorized table engine vs. per-instance "
+        "interpretation (wall-clock; excluded from deterministic output)",
+        ["machine", "instances", "shards", "lane events", "fast %",
+         "events/sec", "interp ev/s", "speedup"],
+        [[r.machine_name, r.instances, r.shards, r.lane_events,
+          f"{r.fast_fraction:.0%}", f"{r.events_per_sec:,.0f}",
+          f"{r.interp_events_per_sec:,.0f}", f"{r.speedup:.1f}x"]
+         for r in rows])
+    note = ("events/sec and speedup are wall-clock (vary per host/run); "
+            "lane events and fast % are deterministic")
+    return table + "\n" + note
 
 
 def main(target: Union[TargetDescription, str, None] = None,

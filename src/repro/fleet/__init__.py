@@ -1,0 +1,21 @@
+"""repro.fleet — vectorized table-driven execution of machine fleets.
+
+The paper's state-table codegen pattern, scaled out: a machine's
+state x event transition relation compiles into flat dispatch arrays
+(:mod:`~repro.fleet.table`), one shared table advances N per-lane
+variable banks (:mod:`~repro.fleet.engine`), and a sharded harness
+routes high-volume event streams and measures sustained events/sec
+(:mod:`~repro.fleet.harness`).  Differential conformance against the
+reference interpreter lives in :mod:`~repro.fleet.conformance`.
+"""
+
+from .table import (FINAL_CONFIG, FleetExecutionError, FleetUnsupported,
+                    TableProgram, compile_table)
+from .engine import Fleet, FleetStats
+from .harness import FleetHarness, ThroughputReport
+from .conformance import FleetConformanceReport, check_fleet_conformance
+
+__all__ = ["compile_table", "TableProgram", "FleetUnsupported",
+           "FleetExecutionError", "FINAL_CONFIG", "Fleet", "FleetStats",
+           "FleetHarness", "ThroughputReport",
+           "FleetConformanceReport", "check_fleet_conformance"]

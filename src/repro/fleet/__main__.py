@@ -1,0 +1,138 @@
+"""CLI: fleet throughput smoke and benchmarks.
+
+``python -m repro.fleet smoke`` runs a fixed-seed fleet (default 10^4
+instances of a generator workload machine), measures sustained
+events/sec through the sharded harness, measures the per-instance
+interpreter on a small sample of the same workload, and reports the
+speedup.  ``--json`` prints a machine-readable result (consumed by
+``scripts/check_bench.py --fleet-smoke``); ``--min-events-per-sec`` /
+``--min-speedup`` turn the run into an asserting gate.
+
+All numbers here are wall-clock — this tool quantifies the engine and
+never feeds the deterministic experiment tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import List
+
+from ..experiments.workload import WorkloadSpec, generate_machine
+from ..semantics.runtime import MachineInstance
+from .harness import FleetHarness
+from .table import compile_table
+
+__all__ = ["main"]
+
+
+def smoke_machine(seed: int):
+    """The smoke workload: a live ring with a shadowed composite and a
+    guarded fraction, so the stream exercises hierarchy, guards and
+    calls — not just bare jumps."""
+    return generate_machine(WorkloadSpec(
+        n_live=8, n_dead=2, n_shadowed_composites=1, composite_width=3,
+        entry_calls=2, exit_calls=1, events_per_state=2,
+        guarded_fraction=0.25, seed=seed, name="FleetSmoke"))
+
+
+def event_stream(machine, n_events: int, seed: int) -> List[str]:
+    alphabet = [e.name for e in machine.signal_alphabet()]
+    rng = random.Random(seed)
+    return [rng.choice(alphabet) for _ in range(n_events)]
+
+
+def interpreter_rate(machine, events: List[str], sample: int) -> float:
+    """Per-instance interpreter lane-events/sec over a *sample* of
+    instances (running 10^4 interpreters would dominate the smoke)."""
+    began = time.perf_counter()
+    for _ in range(sample):
+        instance = MachineInstance(machine)
+        instance.start()
+        for name in events:
+            instance.dispatch(name)
+    elapsed = time.perf_counter() - began
+    return (sample * len(events)) / elapsed if elapsed > 0 else 0.0
+
+
+def cmd_smoke(args: argparse.Namespace) -> int:
+    machine = smoke_machine(args.seed)
+    table = compile_table(machine)
+    events = event_stream(machine, args.events, args.seed + 1)
+
+    harness = FleetHarness(table, n_instances=args.instances,
+                           n_shards=args.shards,
+                           batch_size=args.batch_size,
+                           routing="broadcast")
+    harness.start()
+    report = harness.run(events)
+
+    sample = min(args.interp_sample, args.instances)
+    interp_eps = interpreter_rate(machine, events, sample)
+    speedup = (report.events_per_sec / interp_eps if interp_eps else
+               float("inf"))
+
+    result = {
+        "machine": machine.name,
+        "table": table.describe(),
+        "instances": harness.n_lanes,
+        "shards": harness.n_shards,
+        "stream_events": len(events),
+        "lane_events": report.lane_events,
+        "elapsed_s": round(report.elapsed_s, 6),
+        "events_per_sec": round(report.events_per_sec, 1),
+        "interp_sample": sample,
+        "interp_events_per_sec": round(interp_eps, 1),
+        "speedup_vs_interp": round(speedup, 2),
+        "shard_p99_ms": [round(s.p99_ms, 3) for s in report.shards],
+    }
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(report.summary())
+        print(f"interpreter sample ({sample} instances): "
+              f"{interp_eps:,.0f} events/sec per lane")
+        print(f"fleet speedup vs per-instance interpretation: "
+              f"{speedup:.1f}x")
+
+    failed = []
+    if args.min_events_per_sec and \
+            report.events_per_sec < args.min_events_per_sec:
+        failed.append(f"events/sec {report.events_per_sec:,.0f} < floor "
+                      f"{args.min_events_per_sec:,.0f}")
+    if args.min_speedup and speedup < args.min_speedup:
+        failed.append(f"speedup {speedup:.1f}x < floor "
+                      f"{args.min_speedup:.1f}x")
+    for message in failed:
+        print(f"fleet-smoke FAIL: {message}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="fleet throughput smoke (wall-clock)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    smoke = sub.add_parser("smoke", help="fixed-seed throughput smoke")
+    smoke.add_argument("--instances", type=int, default=10_000)
+    smoke.add_argument("--events", type=int, default=200,
+                       help="stream length (every instance sees all of "
+                            "it: broadcast routing)")
+    smoke.add_argument("--shards", type=int, default=4)
+    smoke.add_argument("--batch-size", type=int, default=32)
+    smoke.add_argument("--seed", type=int, default=0)
+    smoke.add_argument("--interp-sample", type=int, default=25,
+                       help="interpreter instances for the baseline rate")
+    smoke.add_argument("--min-events-per-sec", type=float, default=0.0)
+    smoke.add_argument("--min-speedup", type=float, default=0.0)
+    smoke.add_argument("--json", action="store_true")
+    smoke.set_defaults(fn=cmd_smoke)
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

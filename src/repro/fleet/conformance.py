@@ -1,0 +1,143 @@
+"""Differential conformance: the fleet engine vs. the reference
+semantics.
+
+Two checks per scenario, because the fleet has two execution paths:
+
+* **traced lane** — a width-1 traced fleet (scalar path) must produce
+  a trace `observable_equal` to the interpreter's, plus final-state
+  agreement;
+* **vectorized fleet** — a wide, untraced fleet (static cells advance
+  by masked stores) must put *every* lane in the interpreter's final
+  configuration with the interpreter's attribute values.
+
+Both run through the :class:`repro.exec` protocol — the conformance
+grid is itself a caller of the redesigned API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..semantics.runtime import ExecutionError
+from ..semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
+from ..uml.statemachine import StateMachine
+from .engine import Fleet
+from .table import FleetExecutionError, FleetUnsupported, compile_table
+
+__all__ = ["FleetConformanceReport", "check_fleet_conformance"]
+
+
+@dataclass
+class FleetConformanceReport:
+    """Interpreter-vs-fleet comparison over a scenario set."""
+
+    machine_name: str
+    scenarios_run: int = 0
+    mismatches: List[Tuple[Tuple[str, ...], str]] = field(
+        default_factory=list)
+    unsupported: Optional[str] = None
+    #: vectorized-path accounting over the wide runs
+    wide_lanes: int = 0
+    fast_lane_events: int = 0
+    scalar_lane_events: int = 0
+
+    @property
+    def conformant(self) -> bool:
+        return not self.mismatches and self.unsupported is None
+
+    @property
+    def fast_fraction(self) -> float:
+        total = self.fast_lane_events + self.scalar_lane_events
+        return self.fast_lane_events / total if total else 0.0
+
+    def summary(self) -> str:
+        if self.unsupported is not None:
+            return (f"{self.machine_name}: fleet-unsupported "
+                    f"({self.unsupported})")
+        if self.conformant:
+            return (f"{self.machine_name}: conformant on "
+                    f"{self.scenarios_run} scenario(s); vectorized "
+                    f"fraction {self.fast_fraction:.0%} over "
+                    f"{self.wide_lanes} lanes")
+        first = self.mismatches[0]
+        return (f"{self.machine_name}: {len(self.mismatches)} of "
+                f"{self.scenarios_run} scenario(s) diverge; first: "
+                f"events={list(first[0])} ({first[1]})")
+
+
+def check_fleet_conformance(machine: StateMachine,
+                            semantics: SemanticsConfig =
+                            UML_DEFAULT_SEMANTICS,
+                            scenarios: Optional[Sequence[Tuple[str, ...]]]
+                            = None,
+                            wide_lanes: int = 64,
+                            ) -> FleetConformanceReport:
+    """Run every scenario on interpreter + fleet (both paths)."""
+    # Imported here, not at module top: repro.exec adapts this package,
+    # so a top-level import would be circular.
+    from ..exec.adapters import FleetExecutor, InterpreterExecutor
+    from ..exec.protocol import run_scenario
+    report = FleetConformanceReport(machine_name=machine.name,
+                                    wide_lanes=wide_lanes)
+    if scenarios is None:
+        from ..vm.conformance import conformance_scenarios
+        scenarios = conformance_scenarios(machine)
+    try:
+        table = compile_table(machine, semantics)
+    except FleetUnsupported as exc:
+        report.unsupported = str(exc)
+        return report
+    interp = InterpreterExecutor(semantics)
+    traced = FleetExecutor(semantics)
+    traced._tables[machine] = table     # share the compile
+
+    for events in scenarios:
+        report.scenarios_run += 1
+        try:
+            ref = run_scenario(interp, machine, events)
+        except ExecutionError as exc:
+            report.mismatches.append((tuple(events),
+                                      f"interpreter raised: {exc}"))
+            continue
+        try:
+            lane = run_scenario(traced, machine, events)
+        except FleetExecutionError as exc:
+            report.mismatches.append((tuple(events),
+                                      f"fleet raised: {exc}"))
+            continue
+        if ref.trace.observable_payloads() != \
+                lane.trace.observable_payloads():
+            report.mismatches.append((tuple(events),
+                                      "observable trace mismatch"))
+            continue
+        if ref.in_final != lane.in_final:
+            report.mismatches.append((tuple(events),
+                                      "final-state mismatch"))
+            continue
+        # Vectorized path: every lane of a wide, untraced fleet must
+        # land exactly where the interpreter did.
+        try:
+            wide = Fleet(table, wide_lanes).start()
+            for event in events:
+                wide.dispatch_all(event)
+        except FleetExecutionError as exc:
+            report.mismatches.append((tuple(events),
+                                      f"wide fleet raised: {exc}"))
+            continue
+        report.fast_lane_events += wide.stats.fast_lane_events
+        report.scalar_lane_events += wide.stats.scalar_lane_events
+        expected_attrs = ref.attributes()
+        for l in range(wide.n):
+            if wide.lane_in_final(l) != ref.in_final:
+                report.mismatches.append(
+                    (tuple(events), f"lane {l}: final-state mismatch "
+                     "on vectorized path"))
+                break
+            if wide.attributes_of(l) != expected_attrs:
+                report.mismatches.append(
+                    (tuple(events), f"lane {l}: attribute mismatch on "
+                     f"vectorized path ({wide.attributes_of(l)} != "
+                     f"{expected_attrs})"))
+                break
+    return report

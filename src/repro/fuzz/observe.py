@@ -39,7 +39,8 @@ from ..vm.encoding import EncodingError
 from ..vm.machine import VMError
 
 __all__ = ["Observation", "observe_interpreter_many", "observe_vm_many",
-           "cached_interp_observations", "cached_vm_observations",
+           "observe_fleet_many", "cached_interp_observations",
+           "cached_vm_observations", "cached_fleet_observations",
            "UNSUPPORTED_PREFIX"]
 
 #: Error prefix marking "this executor rejects the machine's shape"
@@ -180,6 +181,58 @@ def observe_interpreter_many(machine: StateMachine,
             terminated=instance.is_terminated,
             kinds=_trace_kinds(instance.trace),
             pool_depth=instance.max_pool_depth))
+    return tuple(out)
+
+
+def cached_fleet_observations(engine, machine: StateMachine, stimuli,
+                              semantics: SemanticsConfig =
+                              UML_DEFAULT_SEMANTICS
+                              ) -> Tuple[Observation, ...]:
+    """:func:`observe_fleet_many` through the engine cache (one table
+    compile, one traced width-1 fleet per stimulus)."""
+    from ..engine.fingerprint import fleet_observation_fingerprint
+    key = fleet_observation_fingerprint(machine, stimuli, semantics)
+    return engine.cache.get_or_compute(
+        key, lambda: observe_fleet_many(machine, stimuli, semantics))
+
+
+def observe_fleet_many(machine: StateMachine,
+                       stimuli: Sequence[PlainStimulus],
+                       semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS,
+                       ) -> Tuple[Observation, ...]:
+    """Compile the dispatch table once, run every stimulus on a traced
+    width-1 fleet through the Executor protocol.
+
+    Shapes outside the table engine's subset
+    (:class:`~repro.fleet.table.FleetUnsupported`) observe as
+    ``unsupported:`` for every stimulus — a documented feature gap, not
+    a divergence — mirroring how a codegen pattern rejection is
+    reported by :func:`observe_vm_many`."""
+    from ..exec.adapters import FleetExecutor
+    from ..fleet.table import FleetExecutionError, FleetUnsupported
+    executor = FleetExecutor(semantics)
+    try:
+        executor.table_for(machine)
+    except FleetUnsupported as exc:
+        failure = Observation(error=f"{UNSUPPORTED_PREFIX}{exc}")
+        return tuple(failure for _ in stimuli)
+    out = []
+    for stimulus in stimuli:
+        instance = executor.load(machine)
+        try:
+            instance.start()
+            for name, _payload in stimulus:
+                instance.dispatch(name)
+        except FleetExecutionError as exc:
+            out.append(Observation(
+                payloads=_trace_payloads(instance.trace),
+                kinds=_trace_kinds(instance.trace),
+                error=f"FleetExecutionError: {exc}"))
+            continue
+        out.append(Observation(
+            payloads=_trace_payloads(instance.trace),
+            final=instance.in_final,
+            kinds=_trace_kinds(instance.trace)))
     return tuple(out)
 
 

@@ -39,14 +39,18 @@ from ..semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
 from ..uml.statemachine import StateMachine
 from .bugs import INJECTED_PIPELINE, buggy_pass_manager
 from .case import FuzzCase
-from .observe import (Observation, cached_interp_observations,
-                      cached_vm_observations)
+from .observe import (Observation, cached_fleet_observations,
+                      cached_interp_observations, cached_vm_observations)
 
 __all__ = ["OracleConfig", "Divergence", "CaseResult",
-           "DifferentialOracle", "MODEL_OPT_EXECUTOR", "VALUE_BOUND"]
+           "DifferentialOracle", "MODEL_OPT_EXECUTOR", "FLEET_EXECUTOR",
+           "VALUE_BOUND"]
 
 #: Executor id of the model-optimizer comparison.
 MODEL_OPT_EXECUTOR = "model-opt"
+
+#: Executor id of the vectorized table engine (:mod:`repro.fleet`).
+FLEET_EXECUTOR = "fleet"
 
 #: Reference runs assigning any |value| beyond this are rejected: the
 #: simulator stores attributes in 32-bit words, the interpreter in
@@ -74,6 +78,11 @@ class OracleConfig:
     targets: Tuple[str, ...] = ("rt32", "rt16")
     levels: Tuple[str, ...] = ("-O0", "-O1", "-O2", "-Os")
     check_optimized: bool = True
+    #: Run the fleet table engine as a fourth executor.  Fresh configs
+    #: default to True; :meth:`from_dict` defaults to False so corpus
+    #: fixtures recorded before the fleet existed replay with their
+    #: exact original executor set.
+    check_fleet: bool = True
     inject_bug: bool = False
     #: Explicit pass selection for the model-opt executor (overrides
     #: the default pipeline; may name injected passes).  ``None`` means
@@ -90,8 +99,8 @@ class OracleConfig:
         if self.executors is not None:
             out = []
             for executor in self.executors:
-                if executor == MODEL_OPT_EXECUTOR:
-                    continue
+                if not executor.startswith("vm:"):
+                    continue   # model-opt / fleet are not grid cells
                 pattern, level, target = \
                     executor.split(":", 1)[1].split("/")
                 out.append((pattern, _LEVELS[level], target))
@@ -116,6 +125,7 @@ class OracleConfig:
                 "targets": list(self.targets),
                 "levels": list(self.levels),
                 "check_optimized": self.check_optimized,
+                "check_fleet": self.check_fleet,
                 "inject_bug": self.inject_bug,
                 "model_selection": (list(self.model_selection)
                                     if self.model_selection is not None
@@ -134,6 +144,10 @@ class OracleConfig:
             levels=tuple(data.get("levels",
                                   ("-O0", "-O1", "-O2", "-Os"))),
             check_optimized=bool(data.get("check_optimized", True)),
+            # Pre-fleet fixtures carry no key; replaying them must not
+            # grow a new executor (corpus replays assert the *exact*
+            # divergent set).
+            check_fleet=bool(data.get("check_fleet", False)),
             inject_bug=bool(data.get("inject_bug", False)),
             model_selection=(tuple(selection) if selection is not None
                              else None),
@@ -147,7 +161,8 @@ class OracleConfig:
         divergence in a cell that was never observed diverging)."""
         pinned = tuple(sorted(set(executors)))
         return replace(self, executors=pinned,
-                       check_optimized=MODEL_OPT_EXECUTOR in pinned)
+                       check_optimized=MODEL_OPT_EXECUTOR in pinned,
+                       check_fleet=FLEET_EXECUTOR in pinned)
 
 
 @dataclass(frozen=True)
@@ -258,6 +273,11 @@ class DifferentialOracle:
                 MODEL_OPT_EXECUTOR,
                 lambda optimized=optimized: cached_interp_observations(
                     self.engine, optimized, stimuli, self.semantics)))
+        if self.config.check_fleet:
+            executors.append((
+                FLEET_EXECUTOR,
+                lambda: cached_fleet_observations(
+                    self.engine, case.machine, stimuli, self.semantics)))
         for pattern, level, target in self.config.cells():
             executors.append((
                 _vm_executor_id(pattern, level, target),

@@ -534,11 +534,19 @@ def run_scenario(machine: StateMachine, events: Sequence[object],
                  config: SemanticsConfig = UML_DEFAULT_SEMANTICS,
                  externals: Optional[Mapping[str, Callable]] = None,
                  ) -> MachineInstance:
-    """Start *machine*, dispatch *events* in order, return the instance."""
-    instance = MachineInstance(machine, config=config, externals=externals)
-    instance.start()
+    """Start *machine*, dispatch *events* in order, return the instance.
+
+    .. deprecated::
+        Thin shim over the :mod:`repro.exec` protocol — new callers
+        should use ``repro.exec.run_scenario(InterpreterExecutor(config),
+        machine, events)``, which works unchanged across all backends.
+    """
+    from ..exec.adapters import InterpreterExecutor
+    adapter = InterpreterExecutor(config).load(machine,
+                                               externals=externals)
+    adapter.start()
     for event in events:
-        if instance.is_terminated:
+        if adapter.is_terminated:
             break
-        instance.dispatch(event)
-    return instance
+        adapter.dispatch(event)
+    return adapter.inner

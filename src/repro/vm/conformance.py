@@ -31,11 +31,10 @@ from typing import List, Optional, Sequence, Tuple, Union
 from ..compiler.driver import OptLevel
 from ..compiler.target.description import TargetDescription
 from ..compiler.target.registry import resolve_target
-from ..semantics.runtime import ExecutionError, run_scenario
+from ..semantics.runtime import ExecutionError
 from ..semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
 from ..uml.statemachine import StateMachine
 from .encoding import EncodingError
-from .harness import CompiledProgram
 from .machine import VMError
 
 __all__ = ["ConformanceReport", "check_vm_conformance",
@@ -121,14 +120,25 @@ def check_vm_conformance(machine: StateMachine,
                          scenarios: Optional[Sequence[Tuple[str, ...]]]
                          = None,
                          ) -> ConformanceReport:
-    """Execute compiled code against the interpreter on every scenario."""
+    """Execute compiled code against the interpreter on every scenario.
+
+    Both backends run through the :mod:`repro.exec` protocol: the
+    reference via :class:`~repro.exec.InterpreterExecutor`, the
+    compiled code via :class:`~repro.exec.VMExecutor` (which memoizes
+    the compile, so the sweep still assembles one image and boots a
+    fresh simulator per scenario).
+    """
+    from ..exec.adapters import InterpreterExecutor, VMExecutor
+    from ..exec.protocol import run_scenario
     tgt = resolve_target(target)
     report = ConformanceReport(machine_name=machine.name, pattern=pattern,
                                level=level, target_name=tgt.name)
     if scenarios is None:
         scenarios = conformance_scenarios(machine)
+    interp = InterpreterExecutor(semantics)
+    executor = VMExecutor(pattern, level=level, target=tgt)
     try:
-        program = CompiledProgram(machine, pattern, level=level, target=tgt)
+        program = executor.program_for(machine)
     except Exception as exc:   # codegen/compile/assemble failure
         report.mismatches.append(((), f"compile/assemble failed: {exc}"))
         return report
@@ -137,20 +147,18 @@ def check_vm_conformance(machine: StateMachine,
     for events in scenarios:
         report.scenarios_run += 1
         try:
-            ref = run_scenario(machine, events, config=semantics)
+            ref = run_scenario(interp, machine, events)
         except ExecutionError as exc:
             report.mismatches.append((tuple(events),
                                       f"interpreter raised: {exc}"))
             continue
         try:
-            vm = program.boot()
-            for event in events:
-                vm.dispatch(event)
+            instance = run_scenario(executor, machine, events)
         except (VMError, EncodingError) as exc:
             report.mismatches.append((tuple(events),
                                       f"simulator raised: {exc}"))
             continue
-        metrics = vm.metrics
+        metrics = instance.metrics
         report.instructions += metrics.instructions
         report.cycles += metrics.cycles
         report.init_cycles += metrics.init_cycles
@@ -158,10 +166,10 @@ def check_vm_conformance(machine: StateMachine,
         report.peak_dispatch_cycles = max(report.peak_dispatch_cycles,
                                           metrics.peak_dispatch_cycles)
         if ref.trace.observable_payloads() != \
-                vm.trace.observable_payloads():
+                instance.trace.observable_payloads():
             report.mismatches.append((tuple(events),
                                       "observable trace mismatch"))
-        elif ref.in_final != vm.is_final():
+        elif ref.in_final != instance.in_final:
             report.mismatches.append((tuple(events),
                                       "final-state mismatch"))
     return report

@@ -276,7 +276,24 @@ def run_vm_scenario(machine: StateMachine,
                     externals: Optional[Mapping[str, Callable]] = None,
                     ) -> CompiledMachineVM:
     """Compile *machine*, execute *events* on the simulator, return the
-    harness (mirrors :func:`repro.semantics.runtime.run_scenario`)."""
+    harness (mirrors :func:`repro.semantics.runtime.run_scenario`).
+
+    .. deprecated::
+        Thin shim over the :mod:`repro.exec` protocol — new callers
+        should use ``repro.exec.run_scenario(VMExecutor(pattern, level,
+        target), machine, events)``.  Only a :class:`CodeGenerator`
+        *instance* (outside the string-keyed executor config) still
+        takes the direct path.
+    """
+    if isinstance(pattern, str):
+        from ..exec.adapters import VMExecutor
+        instance = VMExecutor(pattern, level=level,
+                              target=target).load(machine,
+                                                  externals=externals)
+        instance.start()
+        for event in events:
+            instance.dispatch(event)
+        return instance.vm
     vm = CompiledMachineVM(machine, pattern, level=level, target=target,
                            externals=externals)
     vm.send_all(events)

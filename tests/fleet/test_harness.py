@@ -1,0 +1,66 @@
+"""The sharded fleet harness: routing, accounting, reports."""
+
+import pytest
+
+from repro.fleet import FleetHarness, compile_table
+
+
+class TestRouting:
+    def test_broadcast_every_lane_sees_every_event(self, flat_machine):
+        harness = FleetHarness(flat_machine, n_instances=100, n_shards=4,
+                               batch_size=8, routing="broadcast")
+        harness.start()
+        report = harness.run(["e1", "e3", "e1", "e4"])
+        assert report.lane_events == 100 * 4
+        assert harness.finals() == 100
+
+    def test_round_robin_splits_the_stream(self, flat_machine):
+        harness = FleetHarness(flat_machine, n_instances=8, n_shards=4,
+                               batch_size=2, routing="round-robin")
+        harness.start()
+        report = harness.run(["e1"] * 8)
+        # each shard received 2 of the 8 events, applied to all its lanes
+        assert sum(s.events_routed for s in report.shards) == 8
+
+    def test_unknown_routing_rejected(self, flat_machine):
+        with pytest.raises(ValueError):
+            FleetHarness(flat_machine, n_instances=4, routing="hash")
+
+
+class TestSharding:
+    def test_lanes_split_across_shards(self, flat_machine):
+        harness = FleetHarness(flat_machine, n_instances=10, n_shards=4)
+        assert harness.n_lanes == 10
+        report = harness.start().run([])
+        lanes = [shard.lanes for shard in report.shards]
+        assert sum(lanes) == 10
+        assert max(lanes) - min(lanes) <= 1
+
+    def test_shards_clamped_to_instances(self, flat_machine):
+        harness = FleetHarness(flat_machine, n_instances=2, n_shards=16)
+        assert harness.n_shards <= 2
+
+    def test_heterogeneous_fleet(self, flat_machine, hierarchical_machine):
+        harness = FleetHarness([(flat_machine, 6),
+                                (hierarchical_machine, 6)],
+                               n_shards=2, routing="broadcast")
+        harness.start()
+        assert harness.n_lanes == 12
+        harness.run(["e1", "e2"])
+
+
+class TestReports:
+    def test_throughput_report_fields(self, flat_machine):
+        table = compile_table(flat_machine)
+        harness = FleetHarness(table, n_instances=50, n_shards=2,
+                               batch_size=4, routing="broadcast")
+        harness.start()
+        report = harness.run(["e1", "e3"])
+        assert report.elapsed_s > 0
+        assert report.events_per_sec > 0
+        assert len(report.shards) == harness.n_shards
+        for index, shard in enumerate(report.shards):
+            assert shard.shard == index
+            assert shard.p50_ms <= shard.p90_ms <= shard.p99_ms \
+                <= shard.max_ms
+        assert "lane-events" in report.summary()

@@ -39,8 +39,8 @@ class TestOracleAgreement:
                                 levels=("-O0", "-Os")))
         result = oracle.run_case(_case(flat_machine, "e1", "e3", "e4"))
         assert result.ok, result.summary()
-        # model-opt + 2 VM cells
-        assert result.executors_run == 3
+        # model-opt + fleet + 2 VM cells
+        assert result.executors_run == 4
 
     def test_hierarchical_agrees(self, memory_engine,
                                  hierarchical_machine):
@@ -157,7 +157,8 @@ class TestOracleRejection:
             engine=memory_engine,
             config=OracleConfig(patterns=("nested-switch",),
                                 targets=("rt32",), levels=("-Os",),
-                                check_optimized=False))
+                                check_optimized=False,
+                                check_fleet=False))
         result = oracle.run_case(_case(machine, "deep", "out"))
         assert result.ok
         assert result.cells_skipped == 1
