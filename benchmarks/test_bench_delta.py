@@ -1,0 +1,96 @@
+"""Delta-compile benchmarks: cold vs warm-module vs delta recompile.
+
+Three rungs of the compile-cost ladder for one edit-recompile cycle:
+
+* **cold** — monolithic compile of a machine from nothing;
+* **warm** — the same machine again through an engine (whole-module
+  fingerprint hit: no compile at all, the upper bound on reuse);
+* **delta** — a *mutated* machine (one transition edited) against a
+  warm unit cache: only the units the edit reaches recompile, then a
+  relink.
+
+Delta must sit strictly between warm and cold, and
+``scripts/check_bench.py`` pins all three against the committed
+baseline.  The state-pattern generator is used because its one
+function per (state, event) handler gives the unit DAG its finest
+granularity — the configuration the delta-compile contract gates in
+CI (``scripts/check_delta_compile.py``).
+"""
+
+import pytest
+
+from repro.compiler import OptLevel, compile_program_incremental
+from repro.compiler.frontend.lower import lower_unit
+from repro.codegen import generator_by_name
+from repro.engine import ExperimentEngine
+from repro.engine.cache import CompileCache
+from repro.experiments.workload import (WorkloadSpec, generate_machine,
+                                        mutate_one_transition)
+from repro.pipeline import compile_machine
+
+PATTERN = "state-pattern"
+SPEC = WorkloadSpec(n_live=20, events_per_state=3, seed=3)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return generate_machine(SPEC)
+
+
+@pytest.fixture(scope="module")
+def mutant(machine):
+    return mutate_one_transition(machine)
+
+
+def test_bench_delta_cold_compile(benchmark, machine):
+    result = benchmark(
+        lambda: compile_machine(machine, pattern=PATTERN))
+    assert result.total_size > 0
+
+
+def test_bench_delta_warm_module_hit(benchmark, machine):
+    engine = ExperimentEngine()
+    engine.compile_machine(machine, pattern=PATTERN)
+
+    def hundred_hits():
+        for _ in range(100):
+            result = engine.compile_machine(machine, pattern=PATTERN)
+        return result
+
+    result = benchmark(hundred_hits)
+    assert result.total_size > 0
+
+
+def test_bench_delta_recompile_after_edit(benchmark, machine, mutant):
+    cache = CompileCache()
+    generator = generator_by_name(PATTERN)
+    compile_program_incremental(lower_unit(generator.generate(machine)),
+                                OptLevel.OS, unit_cache=cache,
+                                extra_key=PATTERN)
+
+    def delta_recompile():
+        program = lower_unit(generator.generate(mutant))
+        return compile_program_incremental(program, OptLevel.OS,
+                                           unit_cache=cache,
+                                           extra_key=PATTERN)
+
+    result = benchmark(delta_recompile)
+    assert result.total_size > 0
+
+
+def test_bench_delta_relink_only(benchmark, machine):
+    """The floor under delta: every unit hits, only split + link run."""
+    cache = CompileCache()
+    generator = generator_by_name(PATTERN)
+    compile_program_incremental(lower_unit(generator.generate(machine)),
+                                OptLevel.OS, unit_cache=cache,
+                                extra_key=PATTERN)
+
+    def relink():
+        program = lower_unit(generator.generate(machine))
+        return compile_program_incremental(program, OptLevel.OS,
+                                           unit_cache=cache,
+                                           extra_key=PATTERN)
+
+    result = benchmark(relink)
+    assert result.total_size > 0

@@ -78,6 +78,7 @@ def observable_calls_of_model(machine: StateMachine,
                               ) -> List[Tuple[str, Tuple[int, ...]]]:
     """Reference call sequence: run the model interpreter on *events* and
     return the opaque calls it performed."""
-    from ..semantics.runtime import run_scenario
-    instance = run_scenario(machine, events)
+    from ..exec.adapters import InterpreterExecutor
+    from ..exec.protocol import run_scenario
+    instance = run_scenario(InterpreterExecutor(), machine, events).inner
     return [(name, args) for name, args in instance.trace.calls()]

@@ -22,6 +22,9 @@ from .gimple.ir import Program
 from .target import (TargetDescription, UnknownTargetError,
                      available_targets, get_target, register_target,
                      resolve_target)
+from .units import (CompilationUnit, DeltaStats, LinkError, UnitArtifact,
+                    UnitPlan, compile_program_incremental, link_units,
+                    split_units)
 
 __all__ = [
     "AsmModule", "CompileResult", "OptLevel", "compile_program",
@@ -29,4 +32,6 @@ __all__ = [
     "Program",
     "TargetDescription", "UnknownTargetError", "available_targets",
     "get_target", "register_target", "resolve_target",
+    "CompilationUnit", "DeltaStats", "LinkError", "UnitArtifact",
+    "UnitPlan", "compile_program_incremental", "link_units", "split_units",
 ]

@@ -41,7 +41,9 @@ from .rtl.peephole import fuse_compare_branches, run_peephole
 from .rtl.regalloc import allocate_registers
 from .rtl.ir import RInstr
 
-__all__ = ["OptLevel", "CompileResult", "compile_unit", "compile_program"]
+__all__ = ["OptLevel", "CompileResult", "compile_unit", "compile_program",
+           "SSA_PASS_SEQUENCE", "inline_policy_for", "middle_end_iterations",
+           "optimize_function", "backend_function", "make_switch_lowering"]
 
 
 class OptLevel(enum.Enum):
@@ -86,6 +88,57 @@ class CompileResult:
                 f"{sorted(self.dumps)}") from None
 
 
+#: The SSA pass pipeline, in execution order.  One source of truth for
+#: both compilation granularities: the whole-program middle end below
+#: runs each pass over every function (so dumps snapshot pass
+#: boundaries), and the per-unit pipeline
+#: (:mod:`repro.compiler.units`) runs the same sequence over a single
+#: function — the passes are function-local, so the two orders produce
+#: identical code per function.
+SSA_PASS_SEQUENCE = (("ccp", run_ccp), ("cse", run_cse),
+                     ("copyprop", run_copyprop), ("dce", run_dce),
+                     ("cfg", run_simplify_cfg))
+
+
+def inline_policy_for(level: OptLevel) -> InlinePolicy:
+    """The inlining thresholds of one optimization level."""
+    return (InlinePolicy.for_size() if level.for_size
+            else InlinePolicy.for_speed())
+
+
+def middle_end_iterations(level: OptLevel) -> int:
+    """How many SSA pipeline iterations the level runs."""
+    return 2 if level in (OptLevel.O2, OptLevel.OS) else 1
+
+
+def _finish_iteration(fn) -> None:
+    """Leave SSA and clean up after one pipeline iteration."""
+    from_ssa(fn)
+    remove_unreachable_blocks(fn)
+    # Clean up the straight-line blocks and critical-edge stubs
+    # SSA destruction leaves behind (phis are gone, so this is a
+    # plain structural pass).
+    run_simplify_cfg(fn)
+
+
+def optimize_function(fn, level: OptLevel, stats: Dict[str, int]) -> None:
+    """Run the full per-function SSA pipeline over one function.
+
+    Exactly the pass sequence and iteration count the whole-program
+    middle end applies — the per-unit compile path uses this after the
+    (program-level) inline phase, and the resulting function is
+    identical to what a whole-program compile produces for it.
+    """
+    for i in range(middle_end_iterations(level)):
+        suffix = "" if i == 0 else f"#{i + 1}"
+        to_ssa(fn)
+        verify_ssa(fn)
+        for name, run_pass in SSA_PASS_SEQUENCE:
+            key = f"{name}{suffix}"
+            stats[key] = stats.get(key, 0) + run_pass(fn)
+        _finish_iteration(fn)
+
+
 def _middle_end(program: Program, level: OptLevel,
                 stats: Dict[str, int], dumps: Dict[str, str],
                 capture_dumps: bool) -> None:
@@ -101,41 +154,59 @@ def _middle_end(program: Program, level: OptLevel,
     snapshot("lower")
 
     if level in (OptLevel.O2, OptLevel.OS):
-        policy = (InlinePolicy.for_size() if level.for_size
-                  else InlinePolicy.for_speed())
-        stats["inline"] = run_inline(program, policy)
+        stats["inline"] = run_inline(program, inline_policy_for(level))
         snapshot("einline")
 
-    iterations = 2 if level in (OptLevel.O2, OptLevel.OS) else 1
-    for i in range(iterations):
+    for i in range(middle_end_iterations(level)):
         suffix = "" if i == 0 else f"#{i + 1}"
         for fn in program.functions.values():
             to_ssa(fn)
             verify_ssa(fn)
         snapshot(f"ssa{suffix}")
-        stats[f"ccp{suffix}"] = sum(
-            run_ccp(fn) for fn in program.functions.values())
-        snapshot(f"ccp{suffix}")
-        stats[f"cse{suffix}"] = sum(
-            run_cse(fn) for fn in program.functions.values())
-        snapshot(f"cse{suffix}")
-        stats[f"copyprop{suffix}"] = sum(
-            run_copyprop(fn) for fn in program.functions.values())
-        snapshot(f"copyprop{suffix}")
-        stats[f"dce{suffix}"] = sum(
-            run_dce(fn) for fn in program.functions.values())
-        snapshot(f"dce{suffix}")
-        stats[f"cfg{suffix}"] = sum(
-            run_simplify_cfg(fn) for fn in program.functions.values())
-        snapshot(f"cfg{suffix}")
+        for name, run_pass in SSA_PASS_SEQUENCE:
+            stats[f"{name}{suffix}"] = sum(
+                run_pass(fn) for fn in program.functions.values())
+            snapshot(f"{name}{suffix}")
         for fn in program.functions.values():
-            from_ssa(fn)
-            remove_unreachable_blocks(fn)
-            # Clean up the straight-line blocks and critical-edge stubs
-            # SSA destruction leaves behind (phis are gone, so this is a
-            # plain structural pass).
-            run_simplify_cfg(fn)
+            _finish_iteration(fn)
         snapshot(f"optimized{suffix}")
+
+
+def make_switch_lowering(level: OptLevel,
+                         target: TargetDescription) -> SwitchLowering:
+    """The switch-lowering policy one (level, target) pair compiles with."""
+    return SwitchLowering(optimize_for_size=level.for_size, target=target)
+
+
+def make_rodata_sink(jump_tables: List[DataObject],
+                     target: TargetDescription):
+    """A ``rodata_sink`` appending jump tables to *jump_tables* with the
+    target's entry width — one construction shared by both compile
+    granularities so the emitted tables are identical."""
+    def rodata_sink(name: str, symbols: List[str]) -> None:
+        jump_tables.append(DataObject(
+            name, [SymbolRef(s) for s in symbols], "rodata",
+            word_size=target.jump_table_entry_size))
+    return rodata_sink
+
+
+def backend_function(fn, level: OptLevel, lowering: SwitchLowering,
+                     rodata_sink, target: TargetDescription,
+                     stats: Dict[str, int]):
+    """Run the full backend over one optimized function: instruction
+    selection, compare/branch fusion, register allocation, peephole,
+    prologue/epilogue.  Returns the finished RTL function; jump tables
+    go to *rodata_sink* (named ``<function>.jtN``, so per-function
+    compilation reproduces whole-program names exactly)."""
+    rtl = select_function(fn, lowering, rodata_sink, target=target)
+    if level.optimizes:
+        stats["fuse"] = stats.get("fuse", 0) + \
+            fuse_compare_branches(rtl, target=target)
+    allocate_registers(rtl, target=target)
+    if level.optimizes:
+        stats["peephole"] = stats.get("peephole", 0) + run_peephole(rtl)
+    _add_prologue_epilogue(rtl, target)
+    return rtl
 
 
 def compile_program(program: Program, level: OptLevel = OptLevel.OS,
@@ -153,24 +224,13 @@ def compile_program(program: Program, level: OptLevel = OptLevel.OS,
     _middle_end(program, level, stats, dumps, capture_dumps)
 
     module = AsmModule(program.name, target=tgt)
-    lowering = SwitchLowering(optimize_for_size=level.for_size, target=tgt)
+    lowering = make_switch_lowering(level, tgt)
     jump_tables: List[DataObject] = []
-
-    def rodata_sink(name: str, symbols: List[str]) -> None:
-        jump_tables.append(DataObject(
-            name, [SymbolRef(s) for s in symbols], "rodata",
-            word_size=tgt.jump_table_entry_size))
+    rodata_sink = make_rodata_sink(jump_tables, tgt)
 
     for fn in program.functions.values():
-        rtl = select_function(fn, lowering, rodata_sink, target=tgt)
-        if level.optimizes:
-            stats["fuse"] = stats.get("fuse", 0) + \
-                fuse_compare_branches(rtl, target=tgt)
-        allocate_registers(rtl, target=tgt)
-        if level.optimizes:
-            stats["peephole"] = stats.get("peephole", 0) + run_peephole(rtl)
-        _add_prologue_epilogue(rtl, tgt)
-        module.functions.append(rtl)
+        module.functions.append(
+            backend_function(fn, level, lowering, rodata_sink, tgt, stats))
 
     module.data_objects.extend(program.data.values())
     module.data_objects.extend(jump_tables)

@@ -104,9 +104,16 @@ def _clone_into(caller: GimpleFunction, callee: GimpleFunction,
     return binder.label
 
 
-def run_inline(program: Program, policy: InlinePolicy) -> int:
+def run_inline(program: Program, policy: InlinePolicy,
+               per_caller: Optional[Dict[str, int]] = None) -> int:
     """Inline eligible direct calls across *program*; returns the number
-    of call sites inlined."""
+    of call sites inlined.
+
+    *per_caller*, when given, is filled with the inline count attributed
+    to each caller — the per-unit compile path uses it to report only
+    the unit's own share, so per-unit statistics sum to exactly the
+    whole-program numbers.
+    """
     inlined = 0
     candidates = {name: fn for name, fn in program.functions.items()
                   if _inlinable(fn, policy)}
@@ -139,6 +146,9 @@ def run_inline(program: Program, policy: InlinePolicy) -> int:
                                         instr.dst, cont.label)
                     block.terminator = Jump(entry)
                     inlined += 1
+                    if per_caller is not None:
+                        per_caller[caller.name] = \
+                            per_caller.get(caller.name, 0) + 1
                     budget -= callee.instr_count()
                     again = True
                     break

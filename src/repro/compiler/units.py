@@ -1,0 +1,416 @@
+"""Incremental structure-sharing compilation: units, hashes, relink.
+
+The monolithic pipeline (:func:`repro.compiler.driver.compile_program`)
+recompiles a whole translation unit from cold whenever *anything* in it
+changed.  This module refactors that pipeline into a DAG of
+**compilation units** — one per lowered GIMPLE function, i.e. one per
+action body, per state event-handler, per dispatch skeleton — so a
+machine that shares 95 % of its structure with an already-compiled one
+only recompiles the changed handlers and **relinks**:
+
+* :func:`split_units` partitions a lowered :class:`Program` into units
+  and computes each unit's **content fingerprint**: a digest over the
+  unit's own canonical IR dump *plus* the dumps of its transitive
+  direct-call closure (in program order), the optimization level, the
+  resolved target, the codegen pattern and the repo schema stamp.  The
+  closure is part of the hash because inlining (the middle end's only
+  cross-function pass) clones callee bodies into callers: a unit's
+  compiled output is a pure function of exactly these inputs.  Indirect
+  calls (vtable dispatch) are never inlined and therefore never extend
+  a closure — which is what keeps the dispatch skeletons of the
+  virtual-dispatch patterns independent of their handlers.
+* :func:`compile_one_unit` compiles a single unit through the very same
+  lower → inline → SSA passes → isel → regalloc → asm-prologue
+  pipeline, on a **mini-program** holding deep copies of the unit's
+  closure in original program order — the inliner sees exactly the
+  bodies (and mutation order) it would see in a whole-program run, so
+  the produced RTL is byte-identical.  Pass statistics are attributed
+  to the unit function only; summed across units they equal the
+  whole-program numbers.
+* :func:`link_units` is the **link step**: it reassembles the module
+  from per-unit artifacts — functions in program order, the program's
+  data objects, then every unit's jump tables in function order — and
+  resolves cross-unit symbols (call targets, data references, table
+  slots), raising :class:`LinkError` on a dangling reference.  Link
+  inputs (globals, vtables, externs) always come from the *current*
+  program, never from cached artifacts: a machine whose every unit is
+  cache-hot but whose static data changed relinks correctly.
+* :func:`compile_program_incremental` ties it together against an
+  optional content-addressed unit cache (anything with the
+  ``get_or_compute(key, compute)`` contract of
+  :class:`repro.engine.cache.CompileCache`).
+
+``capture_dumps`` compiles stay on the monolithic path — per-pass
+whole-program IR snapshots are inherently whole-program.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..schema import schema_stamp
+from .asm import AsmModule
+from .driver import (CompileResult, OptLevel, backend_function,
+                     inline_policy_for, make_rodata_sink,
+                     make_switch_lowering, middle_end_iterations,
+                     optimize_function)
+from .gimple.ir import (Call, DataObject, GimpleFunction, Program,
+                        SymbolRef)
+from .passes.inline import run_inline
+from .target.description import TargetDescription
+from .target.registry import resolve_target
+
+__all__ = ["CompilationUnit", "UnitArtifact", "UnitPlan", "LinkError",
+           "split_units", "unit_fingerprint", "compile_one_unit",
+           "link_units", "compile_program_incremental", "DeltaStats"]
+
+
+class LinkError(Exception):
+    """A cross-unit symbol did not resolve at link time."""
+
+
+@dataclass(frozen=True)
+class CompilationUnit:
+    """One independently-compilable node of the unit DAG.
+
+    ``closure`` is the transitive direct-call closure (unit included),
+    ordered by position in the source program — the exact function set
+    and relative order the inliner may consult while compiling this
+    unit.
+    """
+
+    name: str
+    fingerprint: str
+    closure: Tuple[str, ...]
+
+
+@dataclass
+class UnitArtifact:
+    """Everything one unit's compilation produced.
+
+    Stored as a first-class artifact in the content-addressed caches
+    (memory, disk store); treat as immutable once published — linked
+    modules share these objects.
+    """
+
+    name: str
+    fingerprint: str
+    rtl: object                      # finished RTLFunction
+    jump_tables: Tuple[DataObject, ...]
+    optimized_fn: GimpleFunction     # post-middle-end GIMPLE
+    pass_stats: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class UnitPlan:
+    """The unit decomposition of one lowered program."""
+
+    program: Program
+    units: List[CompilationUnit]
+    level: OptLevel
+    target: TargetDescription
+    extra_key: str = ""
+
+    def unit(self, name: str) -> CompilationUnit:
+        for unit in self.units:
+            if unit.name == name:
+                return unit
+        raise KeyError(f"no unit {name!r}")
+
+
+@dataclass
+class DeltaStats:
+    """Unit reuse accounting of one incremental compile."""
+
+    total_units: int = 0
+    reused_units: int = 0
+
+    @property
+    def compiled_units(self) -> int:
+        return self.total_units - self.reused_units
+
+    @property
+    def reuse_rate(self) -> float:
+        return (self.reused_units / self.total_units
+                if self.total_units else 0.0)
+
+
+# ---------------------------------------------------------------------------
+# splitting + hashing
+# ---------------------------------------------------------------------------
+
+def _direct_callees(fn: GimpleFunction, defined: Dict[str, GimpleFunction]
+                    ) -> List[str]:
+    """Names of program functions *fn* calls directly (self excluded;
+    externs and indirect calls are not closure edges)."""
+    seen: List[str] = []
+    for block in fn.blocks.values():
+        for instr in block.instrs:
+            if isinstance(instr, Call) and instr.callee in defined \
+                    and instr.callee != fn.name and instr.callee not in seen:
+                seen.append(instr.callee)
+    return seen
+
+
+def _transitive_closure(root: str, edges: Dict[str, List[str]]
+                        ) -> List[str]:
+    out = [root]
+    frontier = list(edges.get(root, ()))
+    while frontier:
+        name = frontier.pop()
+        if name in out:
+            continue
+        out.append(name)
+        frontier.extend(edges.get(name, ()))
+    return out
+
+
+def unit_fingerprint(name: str, closure: Tuple[str, ...],
+                     fn_dumps: Dict[str, str], level: OptLevel,
+                     target: TargetDescription, extra_key: str = "") -> str:
+    """Canonical content hash of one unit.
+
+    Covers the unit's lowered IR, the lowered IR of every closure
+    member in program order, the optimization level, the target name,
+    the pattern/extra key, and the repo schema stamp — everything that
+    determines the unit's compiled bytes, and nothing that doesn't.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(schema_stamp().encode("utf-8"))
+    for part in ("unit", name, level.value, target.name, extra_key):
+        hasher.update(b"\x00")
+        hasher.update(part.encode("utf-8"))
+    for member in closure:
+        hasher.update(b"\x01")
+        hasher.update(member.encode("utf-8"))
+        hasher.update(b"\x00")
+        hasher.update(fn_dumps[member].encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def split_units(program: Program, level: OptLevel = OptLevel.OS,
+                target: Union[TargetDescription, str, None] = None,
+                extra_key: str = "") -> UnitPlan:
+    """Partition *program* into compilation units with content hashes.
+
+    Closures only matter when the level inlines (O2/Os) — below that
+    every pass is function-local, so units hash over their own body
+    alone and reuse survives edits to unrelated siblings even for
+    direct-call-heavy patterns.
+    """
+    tgt = resolve_target(target)
+    order = list(program.functions)
+    position = {name: i for i, name in enumerate(order)}
+    fn_dumps = {name: str(fn) for name, fn in program.functions.items()}
+    inlines = level in (OptLevel.O2, OptLevel.OS)
+    edges = {name: _direct_callees(fn, program.functions)
+             for name, fn in program.functions.items()} if inlines else {}
+    units: List[CompilationUnit] = []
+    for name in order:
+        closure = tuple(sorted(_transitive_closure(name, edges),
+                               key=position.__getitem__)) \
+            if inlines else (name,)
+        units.append(CompilationUnit(
+            name=name,
+            fingerprint=unit_fingerprint(name, closure, fn_dumps, level,
+                                         tgt, extra_key),
+            closure=closure))
+    return UnitPlan(program=program, units=units, level=level, target=tgt,
+                    extra_key=extra_key)
+
+
+# ---------------------------------------------------------------------------
+# per-unit compilation
+# ---------------------------------------------------------------------------
+
+def compile_one_unit(program: Program, unit: CompilationUnit,
+                     level: OptLevel,
+                     target: Union[TargetDescription, str, None] = None,
+                     ) -> UnitArtifact:
+    """Compile one unit in isolation, byte-identical to its share of a
+    whole-program compile.
+
+    The mini-program holds *deep copies* of the closure (the pipeline
+    mutates IR in place; *program* stays pristine for the other units),
+    in original program order, so the inliner's caller iteration and
+    callee mutation sequence match the monolithic run exactly.  After
+    the inline phase only the unit's own function is optimized — the
+    closure copies exist solely to be cloned *from*.
+    """
+    tgt = resolve_target(target)
+    mini = Program(program.name)
+    mini.externs = list(program.externs)
+    for name in unit.closure:
+        mini.add_function(copy.deepcopy(program.functions[name]))
+    fn = mini.functions[unit.name]
+
+    stats: Dict[str, int] = {}
+    if level.optimizes:
+        if level in (OptLevel.O2, OptLevel.OS):
+            per_caller: Dict[str, int] = {}
+            run_inline(mini, inline_policy_for(level),
+                       per_caller=per_caller)
+            stats["inline"] = per_caller.get(unit.name, 0)
+        optimize_function(fn, level, stats)
+
+    jump_tables: List[DataObject] = []
+    rodata_sink = make_rodata_sink(jump_tables, tgt)
+    lowering = make_switch_lowering(level, tgt)
+    rtl = backend_function(fn, level, lowering, rodata_sink, tgt, stats)
+    return UnitArtifact(name=unit.name, fingerprint=unit.fingerprint,
+                        rtl=rtl, jump_tables=tuple(jump_tables),
+                        optimized_fn=fn, pass_stats=stats)
+
+
+# ---------------------------------------------------------------------------
+# the link step
+# ---------------------------------------------------------------------------
+
+def _merged_stats(program: Program,
+                  artifacts: Dict[str, UnitArtifact],
+                  level: OptLevel) -> Dict[str, int]:
+    """Sum per-unit pass statistics in the monolithic key order."""
+    keys: List[str] = []
+    if level in (OptLevel.O2, OptLevel.OS):
+        keys.append("inline")
+    if level.optimizes:
+        for i in range(middle_end_iterations(level)):
+            suffix = "" if i == 0 else f"#{i + 1}"
+            keys.extend(f"{name}{suffix}"
+                        for name in ("ccp", "cse", "copyprop", "dce",
+                                     "cfg"))
+        keys.extend(("fuse", "peephole"))
+    merged: Dict[str, int] = {}
+    for key in keys:
+        merged[key] = sum(artifacts[name].pass_stats.get(key, 0)
+                          for name in program.functions)
+    return merged
+
+
+def check_link(module: AsmModule, program: Program) -> None:
+    """Resolve every cross-unit symbol; raise :class:`LinkError` on a
+    dangling reference.
+
+    Checked references: direct call targets in RTL, and
+    :class:`SymbolRef` words in data objects (vtable slots, transition
+    tables, jump tables).  The assembler would catch these too, but the
+    link step is where a stale artifact or a mismatched data section
+    should be diagnosed — before any image exists.
+    """
+    defined = {fn.name for fn in module.functions}
+    defined.update(obj.name for obj in module.data_objects)
+    # Function-local labels are addressable as ``fn:block`` (jump-table
+    # slots point at case blocks); the RTL spells them ``.fn.block``,
+    # the same normalization the assembler's resolver applies.
+    for fn in module.functions:
+        for instr in fn.instrs:
+            if instr.op == "label":
+                defined.add(instr.target)
+    externs = set(program.externs)
+
+    def resolves(symbol: str) -> bool:
+        if symbol in defined or symbol in externs:
+            return True
+        if ":" in symbol and not symbol.startswith("."):
+            fn_name, _, block = symbol.rpartition(":")
+            return f".{fn_name}.{block}" in defined
+        return False
+    for fn in module.functions:
+        for instr in fn.instrs:
+            if instr.op != "label" and instr.symbol is not None \
+                    and not resolves(instr.symbol):
+                raise LinkError(
+                    f"{fn.name}: {instr.op} references unresolved "
+                    f"symbol {instr.symbol!r}")
+    for obj in module.data_objects:
+        for word in obj.words:
+            if isinstance(word, SymbolRef) and not resolves(word.symbol):
+                raise LinkError(
+                    f"data object {obj.name}: reference to unresolved "
+                    f"symbol {word.symbol!r}")
+
+
+def link_units(program: Program, artifacts: Dict[str, UnitArtifact],
+               level: OptLevel,
+               target: Union[TargetDescription, str, None] = None,
+               ) -> CompileResult:
+    """Relink per-unit artifacts into a whole-module
+    :class:`CompileResult`, byte-exact against a monolithic compile.
+
+    Functions land in program order; data is the *current* program's
+    (never cached — link inputs may change while every unit hits);
+    jump tables follow in function order, exactly where the monolithic
+    backend loop appends them.
+    """
+    tgt = resolve_target(target)
+    missing = [name for name in program.functions if name not in artifacts]
+    if missing:
+        raise LinkError(f"missing unit artifacts: {missing}")
+
+    module = AsmModule(program.name, target=tgt)
+    linked = Program(program.name)
+    linked.externs = list(program.externs)
+    for obj in program.data.values():
+        linked.add_data(obj)
+    jump_tables: List[DataObject] = []
+    for name in program.functions:
+        artifact = artifacts[name]
+        module.functions.append(artifact.rtl)
+        jump_tables.extend(artifact.jump_tables)
+        linked.add_function(artifact.optimized_fn)
+    module.data_objects.extend(program.data.values())
+    module.data_objects.extend(jump_tables)
+    check_link(module, linked)
+    return CompileResult(module=module, program=linked, opt_level=level,
+                         pass_stats=_merged_stats(program, artifacts,
+                                                  level),
+                         dumps={}, target=tgt)
+
+
+# ---------------------------------------------------------------------------
+# incremental driver
+# ---------------------------------------------------------------------------
+
+def compile_program_incremental(
+        program: Program, level: OptLevel = OptLevel.OS,
+        target: Union[TargetDescription, str, None] = None,
+        unit_cache=None, extra_key: str = "",
+        stats_out: Optional[DeltaStats] = None) -> CompileResult:
+    """Delta-compile *program*: split into units, fetch cache-hot units,
+    compile the misses, relink.
+
+    *unit_cache* is any ``get_or_compute(key, compute)`` provider
+    (e.g. :class:`repro.engine.cache.CompileCache` over a memory, disk
+    or tiered backend); None compiles every unit.  *stats_out*, when
+    given, receives the unit-reuse accounting of this one call.
+    """
+    tgt = resolve_target(target)
+    plan = split_units(program, level=level, target=tgt,
+                       extra_key=extra_key)
+    artifacts: Dict[str, UnitArtifact] = {}
+    for unit in plan.units:
+        compiled_here = False
+
+        def compute(unit=unit):
+            nonlocal compiled_here
+            compiled_here = True
+            return compile_one_unit(program, unit, level, tgt)
+
+        if unit_cache is None:
+            artifact = compute()
+        else:
+            artifact = unit_cache.get_or_compute(unit.fingerprint, compute)
+            if not isinstance(artifact, UnitArtifact) \
+                    or artifact.name != unit.name:
+                # A corrupted or colliding cache entry must degrade to a
+                # recompile, never to a wrong link.
+                artifact = compute()
+        artifacts[unit.name] = artifact
+        if stats_out is not None:
+            stats_out.total_units += 1
+            if not compiled_here:
+                stats_out.reused_units += 1
+    return link_units(program, artifacts, level, target=tgt)

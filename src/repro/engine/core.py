@@ -32,7 +32,7 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
 
-from ..compiler import CompileResult, OptLevel
+from ..compiler import CompileResult, DeltaStats, OptLevel
 from ..compiler.target import TargetDescription, resolve_target
 from ..optim import OptimizationReport, check_equivalence, optimize
 from ..optim.equivalence import EquivalenceReport
@@ -68,7 +68,8 @@ class ExperimentEngine:
     def __init__(self, jobs: int = 1,
                  cache: Optional[CompileCache] = None,
                  backend: "Union[CacheBackend, str, None]" = None,
-                 cache_dir: Optional[str] = None) -> None:
+                 cache_dir: Optional[str] = None,
+                 delta: bool = True) -> None:
         self.jobs = max(1, int(jobs))
         if cache is not None:
             if backend is not None or cache_dir is not None:
@@ -82,6 +83,14 @@ class ExperimentEngine:
                 raise ValueError(
                     "cache_dir= only applies to backend spec strings")
             self.cache = CompileCache(backend)
+        #: Route whole-module cache misses through the per-unit delta
+        #: path (:func:`repro.pipeline.compile_machine_delta`)?  The
+        #: unit tier shares the module cache's backend — unit
+        #: fingerprints carry their own kind tag, so the key spaces
+        #: never collide, and a persistent backend persists units too.
+        self.delta = bool(delta)
+        self.units = CompileCache(getattr(self.cache, "backend", None))
+        self.delta_stats = DeltaStats()
 
     # -- cached primitives --------------------------------------------------
 
@@ -92,15 +101,30 @@ class ExperimentEngine:
                         target: Union[TargetDescription, str, None] = None,
                         semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS,
                         ) -> CompileResult:
-        """Cached :func:`repro.pipeline.compile_machine`."""
+        """Cached :func:`repro.pipeline.compile_machine`.
+
+        Module-cache misses route through the per-unit delta path
+        (structure sharing: units whose lowered IR is unchanged come
+        from the unit tier and only the rest recompile) unless
+        ``capture_dumps`` asks for whole-program IR snapshots — those
+        are inherently monolithic — or the engine was built with
+        ``delta=False``.  Both paths produce byte-identical modules.
+        """
         from ..pipeline import compile_machine as _compile_machine
+        from ..pipeline import compile_machine_delta
         key = compile_fingerprint(machine, pattern, level, target,
                                   semantics, capture_dumps)
-        return self.cache.get_or_compute(
-            key, lambda: _compile_machine(machine, pattern=pattern,
-                                          level=level,
-                                          capture_dumps=capture_dumps,
-                                          target=target))
+
+        def compute() -> CompileResult:
+            if self.delta and not capture_dumps:
+                return compile_machine_delta(
+                    machine, pattern=pattern, level=level, target=target,
+                    unit_cache=self.units, stats_out=self.delta_stats)
+            return _compile_machine(machine, pattern=pattern, level=level,
+                                    capture_dumps=capture_dumps,
+                                    target=target)
+
+        return self.cache.get_or_compute(key, compute)
 
     def optimize_model(self, machine: StateMachine,
                        selection: Optional[Sequence[str]] = None,
@@ -312,9 +336,19 @@ class ExperimentEngine:
     def stats(self) -> CacheStats:
         return self.cache.stats
 
+    @property
+    def unit_stats(self) -> CacheStats:
+        """Lookup counters of the per-unit cache tier."""
+        return self.units.stats
+
     def describe(self) -> str:
         backend = getattr(self.cache, "backend", None)
         backend_note = f", backend={backend.name}" if backend is not None \
             else ""
+        unit = self.unit_stats
+        unit_note = ""
+        if self.delta or unit.lookups:
+            unit_note = (f"; units: {unit.hits} hits "
+                         f"({unit.disk_hits} disk) / {unit.misses} misses")
         return (f"engine(jobs={self.jobs}{backend_note}): "
-                f"{self.stats.summary()}")
+                f"{self.stats.summary()}{unit_note}")

@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from ..uml import (Assign, Behavior, StateMachineBuilder, StateMachine,
                    calls, parse_expr)
 
-__all__ = ["WorkloadSpec", "generate_machine"]
+__all__ = ["WorkloadSpec", "generate_machine", "mutate_one_transition"]
 
 
 @dataclass(frozen=True)
@@ -156,3 +156,34 @@ def generate_machine(spec: WorkloadSpec) -> StateMachine:
         b.transition(f"C{i}", live_names[0], on=next_event(),
                      guard=maybe_guard())
     return b.build()
+
+
+def mutate_one_transition(machine: StateMachine,
+                          index: int = 0) -> StateMachine:
+    """A copy of *machine* with exactly one event transition retargeted
+    into a self-loop — the canonical "edit one transition" step the
+    delta-compile gates replay.
+
+    The edit is semantic (the handler of that (state, event) pair
+    changes) but minimal: it touches one transition of one region, so a
+    structure-sharing recompile should reuse every unit the edit
+    doesn't reach.  *index* selects among the eligible transitions
+    (external, triggered, not already a self-loop), wrapping around, so
+    a corpus sweep can spread edits across a machine.  The copy
+    round-trips through the serializer and re-validates — mutants are
+    exactly as valid as their parents.
+    """
+    from ..uml.serialize import machine_from_dict, machine_to_dict
+    from ..uml.validate import validate_machine
+    data = machine_to_dict(machine)
+    eligible = [t for t in data["transitions"]
+                if t["triggers"] and t["kind"] == "external"
+                and t["source"] != t["target"]]
+    if not eligible:
+        raise ValueError(f"{machine.name} has no event transition "
+                         "to mutate")
+    chosen = eligible[index % len(eligible)]
+    chosen["target"] = chosen["source"]
+    mutant = machine_from_dict(data)
+    validate_machine(mutant)
+    return mutant

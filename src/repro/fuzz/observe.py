@@ -144,13 +144,21 @@ def cached_vm_observations(engine, machine: StateMachine, stimuli,
     """:func:`observe_vm_many` through the engine cache: one generate +
     compile + assemble, one fresh simulator boot per stimulus.  The
     fixed-code runtimes implement the UML-default semantics, so there
-    is no semantics parameter to vary."""
+    is no semantics parameter to vary.
+
+    When the engine runs in delta mode (the default) the compile under
+    a cache miss goes through the per-unit tier: a fuzz campaign's
+    mutant chains differ from their parents by one edit, so most units
+    come back cache-hot even though every mutant's whole-observation
+    fingerprint is new."""
     from ..engine.fingerprint import vm_observation_fingerprint
     key = vm_observation_fingerprint(machine, stimuli, pattern, level,
                                      target)
+    unit_cache = engine.units if getattr(engine, "delta", False) else None
     return engine.cache.get_or_compute(
         key, lambda: observe_vm_many(machine, stimuli, pattern=pattern,
-                                     level=level, target=target))
+                                     level=level, target=target,
+                                     unit_cache=unit_cache))
 
 
 def observe_interpreter_many(machine: StateMachine,
@@ -240,12 +248,16 @@ def observe_vm_many(machine: StateMachine,
                     stimuli: Sequence[PlainStimulus],
                     pattern: str = "flat-switch",
                     level: OptLevel = OptLevel.OS,
-                    target=None) -> Tuple[Observation, ...]:
-    """Compile once, then run every stimulus on a fresh simulator."""
+                    target=None, unit_cache=None) -> Tuple[Observation, ...]:
+    """Compile once, then run every stimulus on a fresh simulator.
+
+    *unit_cache* routes the compile through the structure-sharing
+    delta path (:mod:`repro.compiler.units`) — byte-identical output,
+    shared units served from cache."""
     from ..vm.harness import CompiledProgram
     try:
         program = CompiledProgram(machine, pattern, level=level,
-                                  target=target)
+                                  target=target, unit_cache=unit_cache)
     except CodegenError as exc:
         failure = Observation(error=f"{UNSUPPORTED_PREFIX}{exc}")
         return tuple(failure for _ in stimuli)

@@ -32,7 +32,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from ..semantics.runtime import ExecutionError, run_scenario
+from ..semantics.runtime import ExecutionError
 from ..semantics.trace import observable_equal
 from ..semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
 from ..uml.statemachine import StateMachine
@@ -95,17 +95,20 @@ def check_equivalence(original: StateMachine, optimized: StateMachine,
         scenarios = make_scenarios(original, exhaustive_depth=exhaustive_depth,
                                    n_random=n_random,
                                    random_length=random_length, seed=seed)
+    from ..exec.adapters import InterpreterExecutor
+    from ..exec.protocol import run_scenario
+    interp = InterpreterExecutor(semantics)
     report = EquivalenceReport()
     for events in scenarios:
         report.scenarios_run += 1
         try:
-            a = run_scenario(original, events, config=semantics)
+            a = run_scenario(interp, original, events).inner
         except ExecutionError as exc:
             report.mismatches.append((tuple(events),
                                       f"original raised: {exc}"))
             continue
         try:
-            b = run_scenario(optimized, events, config=semantics)
+            b = run_scenario(interp, optimized, events).inner
         except ExecutionError as exc:
             report.mismatches.append((tuple(events),
                                       f"optimized raised: {exc}"))

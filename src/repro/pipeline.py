@@ -24,7 +24,7 @@ from .semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
 from .uml.statemachine import StateMachine
 
 __all__ = ["PipelineResult", "CompareResult", "compile_machine",
-           "run_pipeline", "optimize_and_compare"]
+           "compile_machine_delta", "run_pipeline", "optimize_and_compare"]
 
 
 @dataclass
@@ -67,6 +67,30 @@ def compile_machine(machine: StateMachine, pattern: str = "nested-switch",
     unit = generator.generate(machine)
     return compile_unit(unit, level, capture_dumps=capture_dumps,
                         target=target)
+
+
+def compile_machine_delta(machine: StateMachine,
+                          pattern: str = "nested-switch",
+                          level: OptLevel = OptLevel.OS,
+                          target: Union[TargetDescription, str, None] = None,
+                          unit_cache=None, stats_out=None) -> CompileResult:
+    """Incremental variant of :func:`compile_machine`: generate, lower,
+    split into compilation units, reuse cache-hot units, compile the
+    misses and relink.  Byte-identical to the monolithic path
+    (:mod:`repro.compiler.units` guarantees it); with a warm
+    *unit_cache* an edit to one transition recompiles only the units it
+    reaches.  *stats_out* (a :class:`~repro.compiler.DeltaStats`)
+    receives the unit reuse accounting of this call.
+    """
+    from .compiler import compile_program_incremental
+    from .compiler.frontend.lower import lower_unit
+    generator = generator_by_name(pattern)
+    unit = generator.generate(machine)
+    program = lower_unit(unit)
+    return compile_program_incremental(program, level=level, target=target,
+                                       unit_cache=unit_cache,
+                                       extra_key=pattern,
+                                       stats_out=stats_out)
 
 
 def run_pipeline(machine: StateMachine, pattern: str = "nested-switch",

@@ -541,6 +541,11 @@ def run_scenario(machine: StateMachine, events: Sequence[object],
         should use ``repro.exec.run_scenario(InterpreterExecutor(config),
         machine, events)``, which works unchanged across all backends.
     """
+    import warnings
+    warnings.warn(
+        "repro.semantics.runtime.run_scenario is deprecated; use "
+        "repro.exec.run_scenario(InterpreterExecutor(config), machine, "
+        "events) instead", DeprecationWarning, stacklevel=2)
     from ..exec.adapters import InterpreterExecutor
     adapter = InterpreterExecutor(config).load(machine,
                                                externals=externals)

@@ -215,6 +215,8 @@ class CompileService:
 
     def stats_payload(self) -> Dict[str, Any]:
         stats = self.engine.stats
+        unit_stats = getattr(self.engine, "unit_stats", None)
+        delta_stats = getattr(self.engine, "delta_stats", None)
         return {
             "engine": {
                 "jobs": self.engine.jobs,
@@ -223,6 +225,17 @@ class CompileService:
                 "misses": stats.misses,
                 "lookups": stats.lookups,
                 "hit_rate": stats.hit_rate,
+            },
+            # The per-unit cache tier behind delta compiles: batch
+            # clients sharing structure (same action bodies across
+            # machine variants) show up as unit hits even when every
+            # whole-module fingerprint is new.
+            "units": {
+                "hits": unit_stats.hits if unit_stats else 0,
+                "disk_hits": unit_stats.disk_hits if unit_stats else 0,
+                "misses": unit_stats.misses if unit_stats else 0,
+                "reused": delta_stats.reused_units if delta_stats else 0,
+                "compiled": delta_stats.compiled_units if delta_stats else 0,
             },
             "service": {
                 "connections": self.totals.connections,

@@ -91,7 +91,8 @@ class CompiledProgram:
     def __init__(self, machine: StateMachine,
                  generator: Union[CodeGenerator, str],
                  level: OptLevel = OptLevel.OS,
-                 target: Union[TargetDescription, str, None] = None) -> None:
+                 target: Union[TargetDescription, str, None] = None,
+                 unit_cache=None) -> None:
         if isinstance(generator, str):
             generator = generator_by_name(generator)
         self.model = machine
@@ -99,7 +100,19 @@ class CompiledProgram:
         self.level = level
         self.unit = generator.generate(machine)
         self.cls_name = generator.class_name(machine)
-        self.compile_result = compile_unit(self.unit, level, target=target)
+        if unit_cache is not None:
+            # Delta path: per-unit compile against a shared unit cache.
+            # Byte-identical to compile_unit (tests/compiler/test_units
+            # pins it), but chains of machine variants — fuzz mutant
+            # chains above all — reuse every unit their edit missed.
+            from ..compiler import compile_program_incremental
+            from ..compiler.frontend.lower import lower_unit
+            self.compile_result = compile_program_incremental(
+                lower_unit(self.unit), level, target=target,
+                unit_cache=unit_cache, extra_key=generator.name)
+        else:
+            self.compile_result = compile_unit(self.unit, level,
+                                               target=target)
         self.image: Image = assemble(self.compile_result.module)
         self.layout = _UnitContext(self.unit).layout(self.cls_name)
         self.event_names = [e.name for e in machine.events.values()]
@@ -285,6 +298,11 @@ def run_vm_scenario(machine: StateMachine,
         *instance* (outside the string-keyed executor config) still
         takes the direct path.
     """
+    import warnings
+    warnings.warn(
+        "repro.vm.run_vm_scenario is deprecated; use "
+        "repro.exec.run_scenario(VMExecutor(pattern, level, target), "
+        "machine, events) instead", DeprecationWarning, stacklevel=2)
     if isinstance(pattern, str):
         from ..exec.adapters import VMExecutor
         instance = VMExecutor(pattern, level=level,

@@ -1,0 +1,183 @@
+"""The compilation-unit DAG: split, content hashes, delta compile, link.
+
+The contract under test is byte-exactness: whatever mix of cache hits,
+evictions and corrupted entries the unit tier serves, the relinked
+module must equal a monolithic ``compile_program`` of the same lowered
+program — the incremental path may only ever be *faster*, never
+different.
+"""
+
+import copy
+
+import pytest
+
+from repro.codegen import generator_by_name
+from repro.compiler import (DeltaStats, LinkError, OptLevel,
+                            compile_program, compile_program_incremental,
+                            link_units, split_units)
+from repro.compiler.frontend.lower import lower_unit
+from repro.compiler.units import compile_one_unit, unit_fingerprint
+from repro.engine.backends import DiskBackend
+from repro.engine.cache import CompileCache
+from repro.vm.image import assemble
+
+PATTERNS = ("nested-switch", "flat-switch", "state-table", "state-pattern")
+
+
+def lowered(machine, pattern):
+    return lower_unit(generator_by_name(pattern).generate(machine))
+
+
+def compiled_bytes(result):
+    image = assemble(result.module, target=result.target)
+    return bytes(image.text), sorted(image.initial_memory.items())
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_incremental_equals_monolithic(self, flat_machine, pattern,
+                                           any_target):
+        mono = compile_program(lowered(flat_machine, pattern),
+                               OptLevel.OS, target=any_target)
+        inc = compile_program_incremental(lowered(flat_machine, pattern),
+                                          OptLevel.OS, target=any_target,
+                                          extra_key=pattern)
+        assert inc.module.listing() == mono.module.listing()
+        assert inc.pass_stats == mono.pass_stats
+        assert compiled_bytes(inc) == compiled_bytes(mono)
+
+    @pytest.mark.parametrize("level", list(OptLevel))
+    def test_every_level(self, hierarchical_machine, level):
+        program_a = lowered(hierarchical_machine, "state-pattern")
+        program_b = lowered(hierarchical_machine, "state-pattern")
+        mono = compile_program(program_a, level)
+        inc = compile_program_incremental(program_b, level,
+                                          extra_key="state-pattern")
+        assert inc.module.listing() == mono.module.listing()
+        assert inc.pass_stats == mono.pass_stats
+
+    def test_warm_cache_is_still_identical(self, flat_machine):
+        cache = CompileCache()
+        cold = compile_program_incremental(
+            lowered(flat_machine, "state-table"), unit_cache=cache)
+        stats = DeltaStats()
+        warm = compile_program_incremental(
+            lowered(flat_machine, "state-table"), unit_cache=cache,
+            stats_out=stats)
+        assert stats.reused_units == stats.total_units > 0
+        assert warm.module.listing() == cold.module.listing()
+
+
+class TestUnitHashes:
+    def test_target_is_part_of_the_hash(self, flat_machine):
+        """rt32 and rt16 units must never collide in a shared cache —
+        a 16-bit artifact served to a 32-bit link is silent corruption."""
+        program = lowered(flat_machine, "state-table")
+        plan32 = split_units(program, OptLevel.OS, target="rt32")
+        plan16 = split_units(program, OptLevel.OS, target="rt16")
+        fps32 = {u.fingerprint for u in plan32.units}
+        fps16 = {u.fingerprint for u in plan16.units}
+        assert not fps32 & fps16
+
+    def test_shared_cache_across_targets_stays_correct(self, flat_machine):
+        """Both targets through ONE unit cache: each link gets its own
+        target's artifacts and matches its monolithic compile."""
+        cache = CompileCache()
+        for target in ("rt32", "rt16", "rt32", "rt16"):
+            inc = compile_program_incremental(
+                lowered(flat_machine, "state-table"), OptLevel.OS,
+                target=target, unit_cache=cache)
+            mono = compile_program(lowered(flat_machine, "state-table"),
+                                   OptLevel.OS, target=target)
+            assert compiled_bytes(inc) == compiled_bytes(mono), target
+
+    def test_level_pattern_and_schema_key_differ(self, flat_machine):
+        program = lowered(flat_machine, "nested-switch")
+        plan = split_units(program, OptLevel.OS, target="rt32",
+                           extra_key="nested-switch")
+        unit = plan.units[0]
+        dumps = {name: str(fn) for name, fn in program.functions.items()}
+        base = unit_fingerprint(unit.name, unit.closure, dumps,
+                                OptLevel.OS, plan.target, "nested-switch")
+        assert base == unit.fingerprint
+        assert base != unit_fingerprint(unit.name, unit.closure, dumps,
+                                        OptLevel.O2, plan.target,
+                                        "nested-switch")
+        assert base != unit_fingerprint(unit.name, unit.closure, dumps,
+                                        OptLevel.OS, plan.target, "other")
+
+
+class TestLinkEdgeCases:
+    def test_missing_artifact_is_a_link_error(self, flat_machine):
+        program = lowered(flat_machine, "nested-switch")
+        plan = split_units(program, OptLevel.OS, target="rt32")
+        artifacts = {u.name: compile_one_unit(program, u, OptLevel.OS,
+                                              "rt32")
+                     for u in plan.units}
+        dropped = plan.units[0].name
+        del artifacts[dropped]
+        with pytest.raises(LinkError, match=dropped.replace("(", "\\(")):
+            link_units(program, artifacts, OptLevel.OS, target="rt32")
+
+    def test_all_units_hot_but_link_inputs_changed(self, flat_machine):
+        """Data objects are link inputs, not unit inputs: when only the
+        data changes, every unit hits and the relink must still carry
+        the *current* data — cached bytes would be stale."""
+        cache = CompileCache()
+        program_a = lowered(flat_machine, "state-table")
+        compile_program_incremental(program_a, unit_cache=cache)
+
+        program_b = lowered(flat_machine, "state-table")
+        mutated = None
+        for data in program_b.data.values():
+            for i, word in enumerate(data.words):
+                if isinstance(word, int):
+                    data.words[i] = word + 1
+                    mutated = data.name
+                    break
+            if mutated:
+                break
+        assert mutated, "state-table must emit an integer data word"
+
+        stats = DeltaStats()
+        inc = compile_program_incremental(program_b, unit_cache=cache,
+                                          stats_out=stats)
+        assert stats.reused_units == stats.total_units > 0
+        mono = compile_program(copy.deepcopy(program_b))
+        assert compiled_bytes(inc) == compiled_bytes(mono)
+
+    def test_gc_evicting_units_mid_batch_falls_back(self, flat_machine,
+                                                    tmp_path):
+        """A GC sweep between two compiles of a batch empties the unit
+        store; the second compile must recompile (never link a stale or
+        missing artifact) and stay byte-identical."""
+        backend = DiskBackend(str(tmp_path / "units"))
+        cache = CompileCache(backend)
+        first = compile_program_incremental(
+            lowered(flat_machine, "state-pattern"), unit_cache=cache)
+
+        report = backend.store_dir.gc(max_bytes=0)
+        assert report.dropped > 0
+
+        stats = DeltaStats()
+        second = compile_program_incremental(
+            lowered(flat_machine, "state-pattern"), unit_cache=cache,
+            stats_out=stats)
+        assert stats.reused_units == 0
+        assert stats.compiled_units == stats.total_units > 0
+        assert second.module.listing() == first.module.listing()
+
+    def test_corrupted_cache_entry_falls_back_to_recompile(self,
+                                                           flat_machine):
+        """A wrong object under a unit key (collision, bit rot) must
+        degrade to a recompile, never to a wrong link."""
+        cache = CompileCache()
+        program = lowered(flat_machine, "nested-switch")
+        plan = split_units(program, OptLevel.OS, target="rt32")
+        for unit in plan.units:
+            cache.get_or_compute(unit.fingerprint,
+                                 lambda: "not a unit artifact")
+        inc = compile_program_incremental(
+            lowered(flat_machine, "nested-switch"), unit_cache=cache)
+        mono = compile_program(lowered(flat_machine, "nested-switch"))
+        assert inc.module.listing() == mono.module.listing()

@@ -1,0 +1,67 @@
+"""The PR-6 compatibility shims warn and stay behaviorally identical.
+
+``repro.semantics.runtime.run_scenario`` and
+``repro.vm.run_vm_scenario`` are thin shims over the
+:mod:`repro.exec` Executor protocol; they must emit a
+:class:`DeprecationWarning` on every call while producing exactly the
+results of the canonical ``run_scenario(executor, machine, events)``
+path they wrap.
+"""
+
+import warnings
+
+import pytest
+
+from repro.exec import InterpreterExecutor, VMExecutor, run_scenario
+from repro.semantics.runtime import run_scenario as legacy_run_scenario
+from repro.semantics.trace import observable_equal
+from repro.vm import run_vm_scenario
+
+EVENTS = ["e1", "e3", "e1", "e4"]
+
+
+class TestInterpreterShim:
+    def test_warns(self, flat_machine):
+        with pytest.warns(DeprecationWarning,
+                          match="repro.semantics.runtime.run_scenario"):
+            legacy_run_scenario(flat_machine, EVENTS)
+
+    def test_identical_to_executor_path(self, flat_machine):
+        with pytest.warns(DeprecationWarning):
+            legacy = legacy_run_scenario(flat_machine, EVENTS)
+        canonical = run_scenario(InterpreterExecutor(), flat_machine,
+                                 EVENTS)
+        assert observable_equal(legacy.trace, canonical.trace)
+        assert legacy.in_final == canonical.in_final
+        assert legacy.is_terminated == canonical.is_terminated
+
+
+class TestVMShim:
+    def test_warns(self, flat_machine):
+        with pytest.warns(DeprecationWarning,
+                          match="repro.vm.run_vm_scenario"):
+            run_vm_scenario(flat_machine, EVENTS)
+
+    def test_identical_to_executor_path(self, flat_machine):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_vm_scenario(flat_machine, EVENTS)
+        canonical = run_scenario(VMExecutor(), flat_machine, EVENTS)
+        assert observable_equal(legacy.trace, canonical.trace)
+        assert legacy.is_final() == canonical.in_final
+
+
+class TestInternalCallersMigrated:
+    """The library itself must not route through its own shims."""
+
+    def test_equivalence_check_does_not_warn(self, flat_machine):
+        from repro.optim import check_equivalence
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            report = check_equivalence(flat_machine, flat_machine)
+        assert report.equivalent
+
+    def test_codegen_conformance_does_not_warn(self, flat_machine):
+        from repro.codegen.harness import observable_calls_of_model
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            observable_calls_of_model(flat_machine, ["e1"])

@@ -1,0 +1,70 @@
+"""Fuzz oracle compiles go through the delta path — byte-identically.
+
+A fuzz campaign is mutant chains: each case differs from its parent by
+one model edit, so the per-unit cache serves most of every compile.
+That is only sound if the delta path is byte-exact, which these tests
+pin against the checked-in corpus fixtures (real shrunk machines, not
+synthetic toys).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.engine.cache import CompileCache
+from repro.fuzz import FuzzCase
+from repro.fuzz.corpus import entry_from_json
+from repro.fuzz.observe import cached_vm_observations, observe_vm_many
+from repro.vm.harness import CompiledProgram
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+ALL = sorted(FIXTURES.glob("*.json"))
+
+
+def fixture_case(path) -> FuzzCase:
+    return FuzzCase.from_dict(entry_from_json(path.read_text())["case"])
+
+
+@pytest.mark.parametrize("path", ALL, ids=lambda p: p.stem)
+def test_fixture_modules_full_vs_delta_byte_identical(path):
+    case = fixture_case(path)
+    full = CompiledProgram(case.machine, "flat-switch")
+    delta = CompiledProgram(case.machine, "flat-switch",
+                            unit_cache=CompileCache())
+    assert delta.compile_result.module.listing() == \
+        full.compile_result.module.listing()
+    assert bytes(delta.image.text) == bytes(full.image.text)
+    assert sorted(delta.image.initial_memory.items()) == \
+        sorted(full.image.initial_memory.items())
+
+
+def test_observations_identical_with_and_without_unit_cache():
+    case = fixture_case(ALL[0])
+    stimuli = tuple(s.events for s in case.stimuli) or \
+        ((("e1", 0),),)
+    plain = observe_vm_many(case.machine, stimuli)
+    cache = CompileCache()
+    cold = observe_vm_many(case.machine, stimuli, unit_cache=cache)
+    warm = observe_vm_many(case.machine, stimuli, unit_cache=cache)
+    assert cold == plain
+    assert warm == plain
+    assert cache.stats.hits > 0, "second compile must reuse units"
+
+
+def test_oracle_path_uses_engine_unit_tier_by_default(memory_engine):
+    case = fixture_case(ALL[0])
+    stimuli = tuple(s.events for s in case.stimuli) or \
+        ((("e1", 0),),)
+    assert memory_engine.delta
+    cached_vm_observations(memory_engine, case.machine, stimuli)
+    assert memory_engine.units.stats.lookups > 0, \
+        "delta-mode engine must compile observations per unit"
+
+
+def test_oracle_path_respects_delta_off():
+    from repro.engine import ExperimentEngine
+    engine = ExperimentEngine(delta=False)
+    case = fixture_case(ALL[0])
+    stimuli = ((("e1", 0),),)
+    cached_vm_observations(engine, case.machine, stimuli)
+    assert engine.units.stats.lookups == 0

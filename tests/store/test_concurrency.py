@@ -98,8 +98,10 @@ def test_two_processes_same_workload_byte_identical(tmp_path):
     store = ArtifactStore(cache)
     report = store.fsck()
     assert report.clean, f"corrupt entries after race: {report}"
-    # 2 machines x 4 patterns x 2 targets unique compiles ended on disk.
-    assert report.checked == 16
+    # 2 machines x 4 patterns x 2 targets unique module artifacts ended
+    # on disk, plus the per-unit artifacts the delta tier persists
+    # alongside them (shared backend).
+    assert report.checked >= 16
 
 
 def test_warm_third_process_is_all_disk_hits(tmp_path):
