@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Gate the compile cluster's SLO: faster than one loop, byte-exact.
+
+The multi-worker service exists to buy throughput without giving up
+the engine's defining property — every served payload is exactly what
+an in-process compile produces.  This script measures both sides of
+that bargain and fails CI when either slips:
+
+1. **Baseline**: a deterministic mixed corpus
+   (:func:`repro.service.loadgen.build_corpus` — workload families,
+   mutant chains, fuzz machines, duplicates) is driven through a
+   single-loop in-process server on a cold cache.
+2. **Cluster**: the same corpus, cold again, through a
+   ``--workers N --shards M`` cluster (fresh sharded store), after a
+   worker-readiness barrier so pool spin-up never skews the window.
+3. **Verify**: every payload from *both* runs is recompiled on a local
+   reference engine and must be canonical-JSON identical; one
+   divergence fails the gate regardless of speed.
+4. **SLO**: the cluster must beat the baseline by ``--min-speedup``
+   (2.0 in CI, where runners have the cores to show it — pass a lower
+   floor on a 1-core box where process parallelism physically cannot
+   pay), clear an absolute ``--min-jobs-per-sec`` floor, and keep
+   batch p99 under ``--max-p99-ms``.  Floors are deliberately
+   conservative: the gate exists to catch a broken cluster path, not a
+   slow runner.
+5. **Schema**: the cluster's ``metrics`` document is asserted against
+   the scrape contract (``schema`` stamp, per-endpoint percentiles,
+   queue gauges, worker counters, cache counters, shard sizes) so
+   dashboards and this gate never silently drift apart.
+
+Usage:
+    python scripts/check_service_slo.py [--workers 2] [--shards 2]
+        [--min-speedup 2.0] [--json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.engine import ExperimentEngine                     # noqa: E402
+from repro.service import (LoadgenSpec, ServiceThread, build_corpus,
+                           run_load, verify_payloads)         # noqa: E402
+from repro.service.metrics import METRICS_SCHEMA_VERSION      # noqa: E402
+
+
+def check_metrics_schema(metrics: dict, workers: int) -> list:
+    """Violations of the scrape contract (empty list == conforming)."""
+    problems = []
+    if metrics.get("schema") != METRICS_SCHEMA_VERSION:
+        problems.append(f"schema stamp {metrics.get('schema')!r} != "
+                        f"{METRICS_SCHEMA_VERSION}")
+    batch = metrics.get("endpoints", {}).get("batch")
+    if not batch:
+        problems.append("no 'batch' endpoint histogram")
+    else:
+        for key in ("count", "mean_ms", "p50_ms", "p90_ms", "p99_ms"):
+            if batch.get(key) is None:
+                problems.append(f"endpoints.batch.{key} missing/null")
+    queue = metrics.get("queue", {})
+    for key in ("depth", "limit", "high_water", "busy_rejections"):
+        if key not in queue:
+            problems.append(f"queue.{key} missing")
+    workers_block = metrics.get("workers", {})
+    for key in ("configured", "mode", "jobs_done", "utilization",
+                "deaths", "restarts", "retried_chunks", "failed_chunks"):
+        if key not in workers_block:
+            problems.append(f"workers.{key} missing")
+    if workers_block.get("configured") != workers:
+        problems.append(f"workers.configured = "
+                        f"{workers_block.get('configured')} != {workers}")
+    cache = metrics.get("cache", {})
+    for key in ("hits", "misses", "disk_hits", "hit_rate"):
+        if key not in cache:
+            problems.append(f"cache.{key} missing")
+    if "shards" not in metrics:
+        problems.append("shards block missing (sharded store expected)")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--batch-size", type=int, default=6)
+    parser.add_argument("--machines", type=int, default=3)
+    parser.add_argument("--mutants", type=int, default=3)
+    parser.add_argument("--fuzz-machines", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=20260808)
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="cluster-vs-single-loop throughput floor "
+                             "(default %(default)s; needs >= workers+1 "
+                             "cores to be meaningful)")
+    parser.add_argument("--min-jobs-per-sec", type=float, default=2.0,
+                        help="absolute cluster throughput floor "
+                             "(default %(default)s)")
+    parser.add_argument("--max-p99-ms", type=float, default=60000.0,
+                        help="batch-request p99 ceiling, ms "
+                             "(default %(default)s)")
+    parser.add_argument("--queue-limit", type=int, default=64)
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    failures = []
+    corpus = build_corpus(LoadgenSpec(
+        machines=args.machines, mutants=args.mutants,
+        fuzz_machines=args.fuzz_machines, seed=args.seed))
+    if len(corpus) < 10:
+        failures.append(f"corpus collapsed to {len(corpus)} jobs")
+
+    # 1. single-loop baseline, cold in-memory cache
+    with ServiceThread(ExperimentEngine()) as handle:
+        baseline = run_load(handle.client, corpus,
+                            batch_size=args.batch_size,
+                            clients=args.clients)
+    reference = ExperimentEngine()
+    baseline_divergent = verify_payloads(corpus, baseline.payloads,
+                                         reference)
+
+    # 2. the cluster, cold sharded store
+    with tempfile.TemporaryDirectory(prefix="slo-store-") as store:
+        with ServiceThread(workers=args.workers, shards=args.shards,
+                           cache_dir=store,
+                           queue_limit=args.queue_limit) as handle:
+            ready = handle.wait_workers_ready()
+            if ready != args.workers:
+                failures.append(f"only {ready}/{args.workers} workers "
+                                f"came up")
+            cluster = run_load(handle.client, corpus,
+                               batch_size=args.batch_size,
+                               clients=args.clients)
+            with handle.client() as client:
+                metrics = client.metrics()
+    cluster_divergent = verify_payloads(corpus, cluster.payloads,
+                                        reference)
+
+    # 3. byte identity is non-negotiable
+    if baseline_divergent:
+        failures.append(f"{len(baseline_divergent)} baseline payloads "
+                        f"diverge from in-process compiles")
+    if cluster_divergent:
+        failures.append(f"{len(cluster_divergent)} cluster payloads "
+                        f"diverge from in-process compiles")
+
+    # 4. the SLO
+    speedup = (cluster.jobs_per_sec / baseline.jobs_per_sec
+               if baseline.jobs_per_sec else 0.0)
+    if speedup < args.min_speedup:
+        failures.append(f"speedup {speedup:.2f}x < floor "
+                        f"{args.min_speedup:.2f}x "
+                        f"(cluster {cluster.jobs_per_sec:.1f} vs "
+                        f"baseline {baseline.jobs_per_sec:.1f} jobs/s)")
+    if cluster.jobs_per_sec < args.min_jobs_per_sec:
+        failures.append(f"cluster throughput {cluster.jobs_per_sec:.1f} "
+                        f"jobs/s < floor {args.min_jobs_per_sec}")
+    if cluster.p99_ms > args.max_p99_ms:
+        failures.append(f"batch p99 {cluster.p99_ms:.0f} ms > ceiling "
+                        f"{args.max_p99_ms:.0f} ms")
+
+    # 5. the scrape contract
+    failures.extend(check_metrics_schema(metrics, args.workers))
+
+    summary = {
+        "corpus_jobs": len(corpus),
+        "baseline": baseline.as_dict(),
+        "cluster": cluster.as_dict(),
+        "speedup": speedup,
+        "divergent_payloads": len(baseline_divergent)
+        + len(cluster_divergent),
+        "metrics_queue": metrics.get("queue"),
+        "metrics_workers": {
+            key: metrics.get("workers", {}).get(key)
+            for key in ("configured", "jobs_done", "utilization",
+                        "deaths", "restarts")},
+        "shards": metrics.get("shards"),
+        "failures": failures,
+    }
+    print(json.dumps(summary, indent=None if args.json else 2,
+                     sort_keys=True))
+    if failures:
+        for failure in failures:
+            print(f"SLO FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"service SLO ok: {speedup:.2f}x over single loop, "
+          f"{cluster.jobs_per_sec:.1f} jobs/s, 0 divergences",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

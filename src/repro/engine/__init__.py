@@ -9,7 +9,8 @@ machinery to exploit that:
   jobs, stamped with the repro serialization schema generation;
 * :mod:`~repro.engine.backends` — pluggable value storage
   (:class:`CacheBackend`): in-process memory, the persistent on-disk
-  :mod:`repro.store`, or tiered memory-over-disk;
+  :mod:`repro.store`, tiered memory-over-disk, or consistent-hash
+  sharding over N store shards (:class:`ShardedBackend`);
 * :mod:`~repro.engine.cache` — a thread-safe content-addressed result
   cache with hit/miss statistics and in-flight deduplication over any
   backend;
@@ -21,18 +22,18 @@ machinery to exploit that:
 """
 
 from .backends import (CacheBackend, DiskBackend, MemoryBackend,
-                       TieredBackend, backend_from_spec)
+                       ShardedBackend, TieredBackend, backend_from_spec)
 from .cache import CacheStats, CompileCache
-from .core import ExperimentEngine
+from .core import EngineSpec, ExperimentEngine
 from .fingerprint import (compile_fingerprint, equivalence_fingerprint,
                           machine_fingerprint, optimize_fingerprint,
                           semantics_key, target_key)
 from .jobs import BatchPlan, CompareJob, CompileJob, plan_batch
 
 __all__ = [
-    "CacheStats", "CompileCache", "ExperimentEngine",
-    "CacheBackend", "MemoryBackend", "DiskBackend", "TieredBackend",
-    "backend_from_spec",
+    "CacheStats", "CompileCache", "EngineSpec", "ExperimentEngine",
+    "CacheBackend", "MemoryBackend", "DiskBackend", "ShardedBackend",
+    "TieredBackend", "backend_from_spec",
     "compile_fingerprint", "equivalence_fingerprint",
     "machine_fingerprint", "optimize_fingerprint", "semantics_key",
     "target_key",

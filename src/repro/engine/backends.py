@@ -17,6 +17,14 @@ Three implementations:
   and *promote* disk hits, writes go to both.  This is what
   ``--cache-dir`` uses: hot keys at dict speed, cold starts served from
   disk.
+* :class:`ShardedBackend` — consistent-hash routing over N child
+  backends (one :class:`~repro.store.ArtifactStore` shard each in
+  normal use).  Every key is owned by exactly one shard via a
+  :class:`~repro.store.HashRing`, so adding or removing a shard moves
+  only ~1/N of the key space and a warm multi-shard store farm stays
+  warm across resizes.  The compile cluster's workers all build this
+  backend from one :class:`~repro.engine.EngineSpec`, which is what
+  makes their on-disk caches one coherent sharded store.
 
 ``load`` returns ``(value, origin)`` — ``origin`` is the tier that
 served the hit (``"memory"`` or ``"disk"``), which is how
@@ -33,13 +41,14 @@ internal bookkeeping must bring its own lock.
 
 from __future__ import annotations
 
+import os
 import pickle
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
-from ..store import ArtifactStore
+from ..store import ArtifactStore, HashRing
 
 __all__ = ["CacheBackend", "MemoryBackend", "DiskBackend",
-           "TieredBackend", "backend_from_spec"]
+           "TieredBackend", "ShardedBackend", "backend_from_spec"]
 
 ORIGIN_MEMORY = "memory"
 ORIGIN_DISK = "disk"
@@ -143,14 +152,20 @@ class DiskBackend(CacheBackend):
 
 
 class TieredBackend(CacheBackend):
-    """Memory over disk: probe fast tier first, promote disk hits."""
+    """Memory over disk: probe fast tier first, promote disk hits.
+
+    The slow tier is any :class:`CacheBackend` (a plain
+    :class:`DiskBackend`, or a :class:`ShardedBackend` spanning several
+    store shards); paths and stores are wrapped in a
+    :class:`DiskBackend` for convenience.
+    """
 
     name = "tiered"
 
-    def __init__(self, disk: "Union[DiskBackend, ArtifactStore, str]",
+    def __init__(self, disk: "Union[CacheBackend, ArtifactStore, str]",
                  memory: Optional[MemoryBackend] = None,
                  max_bytes: Optional[int] = None) -> None:
-        if not isinstance(disk, DiskBackend):
+        if not isinstance(disk, CacheBackend):
             disk = DiskBackend(disk, max_bytes=max_bytes)
         self.memory = memory if memory is not None else MemoryBackend()
         self.disk = disk
@@ -188,24 +203,107 @@ class TieredBackend(CacheBackend):
         self.disk.clear()
 
 
+class ShardedBackend(CacheBackend):
+    """Consistent-hash routing over N child backends.
+
+    Every key is owned by exactly one shard
+    (:meth:`~repro.store.HashRing.lookup` of its fingerprint), so
+    concurrent cluster workers that build equal shard sets agree on
+    placement without coordination, and resizing the shard set moves
+    only ~1/N of the keys.  Reads and writes delegate to the owning
+    shard; the reported hit origin is the child's, so disk-hit
+    accounting is unchanged.
+    """
+
+    name = "sharded"
+
+    def __init__(self, shards: "Sequence[Tuple[str, CacheBackend]]",
+                 replicas: int = 64) -> None:
+        self.shards: Dict[str, CacheBackend] = dict(shards)
+        if len(self.shards) != len(shards):
+            raise ValueError("shard names must be unique")
+        self.ring = HashRing(self.shards, replicas=replicas)
+
+    @classmethod
+    def over_directory(cls, root: str, n_shards: int,
+                       max_bytes: Optional[int] = None,
+                       replicas: int = 64) -> "ShardedBackend":
+        """N :class:`DiskBackend` shards under ``root/shard-XX``.
+
+        A byte budget is split evenly across shards — consistent
+        hashing balances key placement, so per-shard budgets
+        approximate a whole-store budget without cross-shard GC
+        coordination.
+        """
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        per_shard = None if max_bytes is None else \
+            max(1, max_bytes // n_shards)
+        shards = [
+            (f"shard-{i:02d}",
+             DiskBackend(os.path.join(root, f"shard-{i:02d}"),
+                         max_bytes=per_shard))
+            for i in range(n_shards)
+        ]
+        return cls(shards, replicas=replicas)
+
+    def shard_for(self, key: str) -> str:
+        """Name of the shard owning *key*."""
+        return self.ring.lookup(key)
+
+    def load(self, key: str) -> Tuple[Any, str]:
+        return self.shards[self.ring.lookup(key)].load(key)
+
+    def store(self, key: str, value: Any) -> None:
+        self.shards[self.ring.lookup(key)].store(key, value)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.shards[self.ring.lookup(key)]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards.values())
+
+    def clear(self) -> None:
+        for shard in self.shards.values():
+            shard.clear()
+
+    def shard_sizes(self) -> Dict[str, int]:
+        """``{shard name: entry count}`` — the metrics endpoint's view
+        of placement balance."""
+        return {name: len(shard)
+                for name, shard in sorted(self.shards.items())}
+
+
 def backend_from_spec(spec: Optional[str] = None,
                       cache_dir: Optional[str] = None,
-                      max_bytes: Optional[int] = None) -> CacheBackend:
+                      max_bytes: Optional[int] = None,
+                      shards: int = 1) -> CacheBackend:
     """Build a backend from CLI-ish knobs.
 
     *spec* is ``"memory"`` | ``"disk"`` | ``"tiered"`` (default:
     ``"tiered"`` when *cache_dir* is given, else ``"memory"``).  The
-    disk-backed specs require *cache_dir*.
+    disk-backed specs require *cache_dir*.  ``shards > 1`` splits the
+    disk tier into that many consistent-hash-routed
+    :class:`~repro.store.ArtifactStore` shards under *cache_dir*.
     """
     if spec is None:
         spec = "tiered" if cache_dir else "memory"
+    shards = int(shards)
     if spec == "memory":
+        if shards > 1:
+            raise ValueError("sharding needs a disk-backed backend "
+                             "(memory caches are per-process)")
         return MemoryBackend()
     if spec in ("disk", "tiered"):
         if not cache_dir:
             raise ValueError(f"backend {spec!r} needs a cache directory")
+        if shards > 1:
+            disk: CacheBackend = ShardedBackend.over_directory(
+                cache_dir, shards, max_bytes=max_bytes)
+        else:
+            disk = DiskBackend(cache_dir, max_bytes=max_bytes)
         if spec == "disk":
-            return DiskBackend(cache_dir, max_bytes=max_bytes)
-        return TieredBackend(cache_dir, max_bytes=max_bytes)
+            return disk
+        return TieredBackend(disk)
     raise ValueError(f"unknown cache backend {spec!r} "
                      "(expected memory, disk or tiered)")

@@ -30,6 +30,7 @@ experiment suite becomes >90 % cache hits.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
 
 from ..compiler import CompileResult, DeltaStats, OptLevel
@@ -45,9 +46,48 @@ from .fingerprint import (compile_fingerprint, conformance_fingerprint,
                           optimize_fingerprint)
 from .jobs import BatchPlan, CompareJob, CompileJob, plan_batch
 
-__all__ = ["ExperimentEngine"]
+__all__ = ["EngineSpec", "ExperimentEngine"]
 
 T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Picklable recipe for an :class:`ExperimentEngine`.
+
+    The compile cluster's worker processes cannot share a live engine
+    (caches hold unpicklable in-flight futures and open stores), but
+    they can share the *recipe*: each worker rebuilds its own engine
+    from one spec, so every worker gets the same backend topology — in
+    particular the same consistent-hash shard set under ``cache_dir``
+    — and the same delta-compile configuration, which is what makes N
+    per-process unit-tier caches behave as one coherent farm over the
+    shared on-disk shards.
+
+    Only spec *strings* are allowed for the backend (live
+    :class:`~repro.engine.backends.CacheBackend` objects don't cross
+    process boundaries).
+    """
+
+    jobs: int = 1
+    backend: Optional[str] = None
+    cache_dir: Optional[str] = None
+    shards: int = 1
+    max_bytes: Optional[int] = None
+    delta: bool = True
+
+    def __post_init__(self) -> None:
+        if self.backend is not None and not isinstance(self.backend, str):
+            raise TypeError("EngineSpec.backend must be a spec string "
+                            "(picklability is the point)")
+
+    def build(self) -> "ExperimentEngine":
+        """A fresh engine following this recipe (one per worker)."""
+        return ExperimentEngine(jobs=self.jobs, backend=self.backend,
+                                cache_dir=self.cache_dir,
+                                shards=self.shards,
+                                max_bytes=self.max_bytes,
+                                delta=self.delta)
 
 
 class ExperimentEngine:
@@ -69,6 +109,8 @@ class ExperimentEngine:
                  cache: Optional[CompileCache] = None,
                  backend: "Union[CacheBackend, str, None]" = None,
                  cache_dir: Optional[str] = None,
+                 shards: int = 1,
+                 max_bytes: Optional[int] = None,
                  delta: bool = True) -> None:
         self.jobs = max(1, int(jobs))
         if cache is not None:
@@ -78,7 +120,9 @@ class ExperimentEngine:
             self.cache = cache
         else:
             if backend is None or isinstance(backend, str):
-                backend = backend_from_spec(backend, cache_dir=cache_dir)
+                backend = backend_from_spec(backend, cache_dir=cache_dir,
+                                            max_bytes=max_bytes,
+                                            shards=shards)
             elif cache_dir is not None:
                 raise ValueError(
                     "cache_dir= only applies to backend spec strings")

@@ -1,4 +1,5 @@
-"""Batch compile service: compilation offered over a socket.
+"""Batch compile service: compilation offered over a socket, scalable
+to a multi-worker sharded cluster.
 
 The engine (:mod:`repro.engine`) made repeated work cheap *within* a
 process and the store (:mod:`repro.store`) made artifacts outlive one;
@@ -11,27 +12,49 @@ sharing a process:
   canonical result payload (built by the same function the in-process
   path uses, so service answers are identical to local engine runs);
 * :mod:`~repro.service.server` — :class:`CompileService`, an asyncio
-  server over a unix socket or TCP port fronting one
-  :class:`~repro.engine.ExperimentEngine`: identical in-flight requests
-  are coalesced onto one computation, batches are deduplicated by the
-  engine's planner, and per-client statistics are kept;
+  server over a unix socket or TCP port.  In-process mode fronts one
+  :class:`~repro.engine.ExperimentEngine`; cluster mode
+  (``workers=N``) runs compiles on a process pool over a
+  consistent-hash-sharded store, with bounded-queue backpressure
+  (``busy`` replies) and a ``metrics`` endpoint.
   :class:`ServiceThread` runs the whole thing on a background thread
   for examples/tests;
+* :mod:`~repro.service.workers` — :class:`WorkerPool`, the fault-
+  tolerant process pool (dead workers are respawned, interrupted
+  chunks retried);
+* :mod:`~repro.service.batching` — batch dedup, the unit-cache
+  locality sort, and chunk planning;
+* :mod:`~repro.service.metrics` — latency histograms and the
+  scrape-stable ``metrics`` JSON document;
+* :mod:`~repro.service.loadgen` — mixed-workload load generator and
+  payload verifier (the CI SLO gate's measurement core);
 * :mod:`~repro.service.client` — :class:`ServiceClient`, a thin
-  blocking client.
+  blocking client with busy-reply backoff.
 
-CLI: ``python -m repro.service serve|submit|stats``.
+CLI: ``python -m repro.service serve|submit|stats|metrics|loadgen``.
 """
 
-from .client import ServiceClient, ServiceError
+from .batching import (dedup_params, params_digest, plan_chunks,
+                       sort_for_locality)
+from .client import ServiceBusy, ServiceClient, ServiceError
+from .loadgen import (LoadgenSpec, LoadReport, build_corpus, run_load,
+                      verify_payloads)
+from .metrics import METRICS_SCHEMA_VERSION, ServiceMetrics
 from .protocol import (compile_params, compile_result_payload,
                        job_from_params, parse_opt_level,
                        semantics_from_dict, semantics_to_dict)
-from .server import CompileService, ServiceThread, start_service
+from .server import (BusyRejection, CompileService, ServiceThread,
+                     start_service)
+from .workers import PoolStats, WorkerPool
 
 __all__ = [
-    "ServiceClient", "ServiceError",
-    "CompileService", "ServiceThread", "start_service",
+    "ServiceClient", "ServiceError", "ServiceBusy",
+    "CompileService", "ServiceThread", "start_service", "BusyRejection",
+    "WorkerPool", "PoolStats",
+    "ServiceMetrics", "METRICS_SCHEMA_VERSION",
+    "LoadgenSpec", "LoadReport", "build_corpus", "run_load",
+    "verify_payloads",
+    "params_digest", "dedup_params", "sort_for_locality", "plan_chunks",
     "compile_params", "compile_result_payload", "job_from_params",
     "parse_opt_level", "semantics_from_dict", "semantics_to_dict",
 ]

@@ -1,9 +1,11 @@
-"""Compile-service CLI: ``python -m repro.service <serve|submit|stats>``.
+"""Compile-service CLI:
+``python -m repro.service <serve|submit|stats|metrics|loadgen>``.
 
-``serve`` runs the asyncio server in the foreground::
+``serve`` runs the asyncio server in the foreground — in-process by
+default, a worker cluster with ``--workers``::
 
-    python -m repro.service serve --socket /tmp/repro.sock \\
-        --cache-dir .repro-store --jobs 4
+    python -m repro.service serve --port 9090 \\
+        --workers 2 --shards 2 --cache-dir /data/store --queue-limit 64
 
 ``submit`` compiles a model over the wire (one request per ``--pattern``,
 batched when several are given)::
@@ -11,7 +13,15 @@ batched when several are given)::
     python -m repro.service submit --socket /tmp/repro.sock \\
         --model flat --pattern nested-switch --pattern state-table
 
-``stats`` prints the server's engine + per-client statistics as JSON.
+``stats`` prints the server's engine + per-client statistics as JSON;
+``metrics`` prints the latency/queue/worker telemetry document.
+
+``loadgen`` drives a deterministic mixed corpus (workload families +
+mutant chains + fuzz machines + duplicates) against a running server
+and reports throughput and latency percentiles; ``--verify`` also
+recompiles everything locally and demands byte-identical payloads::
+
+    python -m repro.service loadgen --port 9090 --clients 4 --verify
 """
 
 from __future__ import annotations
@@ -22,9 +32,10 @@ import json
 import sys
 from typing import List, Optional
 
-from ..engine import ExperimentEngine
+from ..engine import EngineSpec, ExperimentEngine
 from ..uml.serialize import load_machine
 from .client import ServiceClient, ServiceError
+from .loadgen import LoadgenSpec, build_corpus, run_load, verify_payloads
 from .server import start_service
 
 #: Named models submit can compile without a machine-JSON file.
@@ -45,11 +56,11 @@ def _add_address_args(parser: argparse.ArgumentParser) -> None:
                         help="TCP port of the server")
 
 
-def _client(args: argparse.Namespace) -> ServiceClient:
+def _client(args: argparse.Namespace, **kwargs) -> ServiceClient:
     if not args.socket and args.port is None:
         raise SystemExit("error: need --socket or --port")
     return ServiceClient(socket_path=args.socket, host=args.host,
-                         port=args.port)
+                         port=args.port, **kwargs)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -57,19 +68,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: need --socket or --port to serve on",
               file=sys.stderr)
         return 2
-    engine = ExperimentEngine(jobs=args.jobs, backend=args.backend,
-                              cache_dir=args.cache_dir)
+    engine = None
+    engine_spec = None
+    if args.workers > 0:
+        engine_spec = EngineSpec(jobs=args.jobs, backend=args.backend,
+                                 cache_dir=args.cache_dir,
+                                 shards=args.shards)
+        described = (f"cluster: {args.workers} workers, "
+                     f"{args.shards} store shard(s)"
+                     + (f" under {args.cache_dir}" if args.cache_dir
+                        else ""))
+    else:
+        engine = ExperimentEngine(jobs=args.jobs, backend=args.backend,
+                                  cache_dir=args.cache_dir,
+                                  shards=args.shards)
+        described = engine.describe()
 
     async def _serve() -> None:
         server, service = await start_service(
             engine, socket_path=args.socket, host=args.host,
-            port=args.port)
+            port=args.port, workers=args.workers,
+            engine_spec=engine_spec, queue_limit=args.queue_limit)
         where = args.socket if args.socket else \
             "%s:%d" % server.sockets[0].getsockname()[:2]
         print(f"repro compile service listening on {where} "
-              f"({engine.describe()})", file=sys.stderr)
-        async with server:
-            await server.serve_forever()
+              f"({described})", file=sys.stderr)
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            service.close()
 
     try:
         asyncio.run(_serve())
@@ -110,11 +138,43 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    spec = LoadgenSpec(machines=args.machines, mutants=args.mutants,
+                       fuzz_machines=args.fuzz_machines, seed=args.seed)
+    corpus = build_corpus(spec, screen=not args.no_screen)
+    for _ in range(max(0, args.repeat - 1)):
+        corpus = corpus + corpus
+    print(f"loadgen: {len(corpus)} jobs, {args.clients} client(s), "
+          f"batches of {args.batch_size}", file=sys.stderr)
+
+    def make_client():
+        return _client(args, busy_retries=args.busy_retries)
+
+    report = run_load(make_client, corpus, batch_size=args.batch_size,
+                      clients=args.clients)
+    summary = report.as_dict()
+    if args.verify:
+        divergent = verify_payloads(corpus, report.payloads)
+        summary["divergent_payloads"] = len(divergent)
+        if divergent:
+            print(f"error: {len(divergent)} served payloads diverge "
+                  f"from the in-process compiler", file=sys.stderr)
+    print(json.dumps(summary, indent=None if args.json else 2,
+                     sort_keys=True))
+    return 1 if summary.get("divergent_payloads") else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
-        description="Serve, query and submit to the repro compile "
-                    "service.")
+        description="Serve, query, submit to and load-test the repro "
+                    "compile service.")
     sub = parser.add_subparsers(dest="command", required=True)
 
     serve = sub.add_parser("serve", help="run the compile server")
@@ -122,6 +182,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="engine worker-pool width (default "
                             "%(default)s)")
+    serve.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="compile-worker processes (0 = in-process "
+                            "engine; default %(default)s)")
+    serve.add_argument("--shards", type=int, default=1, metavar="M",
+                       help="consistent-hash store shards under "
+                            "--cache-dir (default %(default)s)")
+    serve.add_argument("--queue-limit", type=int, default=None,
+                       metavar="Q",
+                       help="bounded-queue size; over-limit requests "
+                            "get busy replies (default: unbounded)")
     serve.add_argument("--cache-dir", metavar="DIR",
                        help="persistent artifact store directory "
                             "(tiered memory-over-disk cache)")
@@ -155,6 +225,49 @@ def main(argv: Optional[List[str]] = None) -> int:
     stats = sub.add_parser("stats", help="print server statistics")
     _add_address_args(stats)
     stats.set_defaults(func=_cmd_stats)
+
+    metrics = sub.add_parser("metrics", help="print server latency/"
+                                             "queue/worker telemetry")
+    _add_address_args(metrics)
+    metrics.set_defaults(func=_cmd_metrics)
+
+    loadgen = sub.add_parser("loadgen", help="drive a mixed compile "
+                                             "load against a server")
+    _add_address_args(loadgen)
+    loadgen.add_argument("--machines", type=int, default=3, metavar="N",
+                         help="workload families (default %(default)s)")
+    loadgen.add_argument("--mutants", type=int, default=3, metavar="N",
+                         help="mutant chain length per family "
+                              "(default %(default)s)")
+    loadgen.add_argument("--fuzz-machines", type=int, default=4,
+                         metavar="N",
+                         help="fuzz-generated machines (default "
+                              "%(default)s)")
+    loadgen.add_argument("--seed", type=int, default=20260808,
+                         help="corpus seed (default %(default)s)")
+    loadgen.add_argument("--repeat", type=int, default=1, metavar="K",
+                         help="double the corpus K-1 times (warm-cache "
+                              "load; default %(default)s)")
+    loadgen.add_argument("--batch-size", type=int, default=8,
+                         metavar="B",
+                         help="jobs per batch request (default "
+                              "%(default)s)")
+    loadgen.add_argument("--clients", type=int, default=2, metavar="C",
+                         help="concurrent client connections (default "
+                              "%(default)s)")
+    loadgen.add_argument("--busy-retries", type=int, default=20,
+                         metavar="R",
+                         help="busy-reply backoff retries per request "
+                              "(default %(default)s)")
+    loadgen.add_argument("--no-screen", action="store_true",
+                         help="skip pre-compiling the corpus locally "
+                              "(keeps uncompilable fuzz draws)")
+    loadgen.add_argument("--verify", action="store_true",
+                         help="recompile locally and require "
+                              "byte-identical payloads")
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the summary as one JSON line")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     args = parser.parse_args(argv)
     try:

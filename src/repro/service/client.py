@@ -7,6 +7,15 @@ machine; the result payloads it returns are exactly the server's
 round-trip through the service is directly comparable to an in-process
 engine run.
 
+A loaded cluster answers over-limit requests with ``busy`` replies
+(the wire protocol's 429) instead of queueing without bound; the
+client absorbs those transparently with capped exponential backoff —
+up to ``busy_retries`` resends, sleeping
+``min(busy_backoff * 2**attempt, busy_backoff_cap)`` between them —
+and raises :class:`ServiceBusy` only when retries are exhausted or the
+server marked the rejection non-retryable (a batch larger than the
+whole queue).
+
 ::
 
     from repro.service import ServiceClient
@@ -19,6 +28,7 @@ engine run.
 from __future__ import annotations
 
 import socket
+import time
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..compiler import OptLevel
@@ -27,11 +37,16 @@ from ..uml.statemachine import StateMachine
 from .protocol import (MAX_LINE_BYTES, compile_params, decode_message,
                        encode_message)
 
-__all__ = ["ServiceError", "ServiceClient"]
+__all__ = ["ServiceError", "ServiceBusy", "ServiceClient"]
 
 
 class ServiceError(RuntimeError):
     """The server answered a request with ``ok: false``."""
+
+
+class ServiceBusy(ServiceError):
+    """The server's bounded queue rejected the request and backoff
+    retries were exhausted (or the rejection was non-retryable)."""
 
 
 class ServiceClient:
@@ -39,7 +54,10 @@ class ServiceClient:
 
     def __init__(self, socket_path: Optional[str] = None,
                  host: Optional[str] = None, port: Optional[int] = None,
-                 timeout: float = 300.0) -> None:
+                 timeout: float = 300.0,
+                 busy_retries: int = 10,
+                 busy_backoff: float = 0.05,
+                 busy_backoff_cap: float = 2.0) -> None:
         if socket_path is not None:
             self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             self._sock.settimeout(timeout)
@@ -51,30 +69,53 @@ class ServiceClient:
             raise ValueError("need socket_path or port to connect to")
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
+        self.busy_retries = max(0, int(busy_retries))
+        self.busy_backoff = busy_backoff
+        self.busy_backoff_cap = busy_backoff_cap
+        #: Total busy replies absorbed by backoff (load reports read it).
+        self.busy_retries_used = 0
 
     # -- plumbing -----------------------------------------------------------
 
-    def request(self, op: str, **params: Any) -> Dict[str, Any]:
-        """Send one request; return its ``result`` object or raise
-        :class:`ServiceError`."""
-        self._next_id += 1
-        message = {"id": self._next_id, "op": op}
-        message.update(params)
+    def _roundtrip(self, message: Dict[str, Any]) -> Dict[str, Any]:
         self._file.write(encode_message(message))
         self._file.flush()
         line = self._file.readline(MAX_LINE_BYTES)
         if not line:
             raise ConnectionError("server closed the connection")
-        response = decode_message(line)
-        # ok/error first: framing-level failures answer with id=None,
-        # and their message must not be masked by the id sanity check.
-        if not response.get("ok"):
-            raise ServiceError(response.get("error", "unknown error"))
-        if response.get("id") != self._next_id:
-            raise ServiceError(
-                f"response id {response.get('id')!r} != request id "
-                f"{self._next_id}")
-        return response.get("result", {})
+        return decode_message(line)
+
+    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """Send one request; return its ``result`` object or raise
+        :class:`ServiceError` / :class:`ServiceBusy`.  ``busy`` replies
+        are retried with capped exponential backoff."""
+        attempt = 0
+        while True:
+            self._next_id += 1
+            message = {"id": self._next_id, "op": op}
+            message.update(params)
+            response = self._roundtrip(message)
+            if response.get("busy"):
+                error = response.get("error", "server busy")
+                if response.get("retry") is False:
+                    raise ServiceBusy(error)
+                if attempt >= self.busy_retries:
+                    raise ServiceBusy(
+                        f"{error} (after {attempt} retries)")
+                self.busy_retries_used += 1
+                time.sleep(min(self.busy_backoff_cap,
+                               self.busy_backoff * (2 ** attempt)))
+                attempt += 1
+                continue
+            # ok/error first: framing-level failures answer with id=None,
+            # and their message must not be masked by the id sanity check.
+            if not response.get("ok"):
+                raise ServiceError(response.get("error", "unknown error"))
+            if response.get("id") != self._next_id:
+                raise ServiceError(
+                    f"response id {response.get('id')!r} != request id "
+                    f"{self._next_id}")
+            return response.get("result", {})
 
     def close(self) -> None:
         try:
@@ -95,6 +136,11 @@ class ServiceClient:
 
     def stats(self) -> Dict[str, Any]:
         return self.request("stats")
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's latency/queue/worker/cache telemetry document
+        (see :mod:`repro.service.metrics` for the schema)."""
+        return self.request("metrics")
 
     def compile_machine(self, machine: Union[StateMachine, Dict[str, Any]],
                         pattern: str = "nested-switch",

@@ -1,0 +1,246 @@
+"""Mixed-workload load generator for the compile service.
+
+This is the measurement core behind ``python -m repro.service loadgen``
+and the CI SLO gate (``scripts/check_service_slo.py``).  Three parts:
+
+* :func:`build_corpus` — a deterministic *mixed* batch: structured
+  workload families (:mod:`repro.experiments.workload`) with mutant
+  chains hanging off each parent (the near-duplicate population the
+  locality sort exists for), fuzz-generated machines
+  (:mod:`repro.fuzz.generate`) for shape diversity, plus a fraction of
+  exact duplicates (the coalescing/dedup population) — shuffled, then
+  *screened* so every job in the corpus is known-compilable (a fuzz
+  draw a pattern rejects would otherwise poison throughput numbers
+  with error replies).
+* :func:`run_load` — drive the corpus through N client threads in
+  fixed-size batches against any address, collecting wall-clock
+  throughput, exact request-latency percentiles (raw samples, not
+  bucketed — the load generator can afford them) and busy-retry
+  counts.
+* :func:`verify_payloads` — recompile the corpus on a local reference
+  engine and demand byte-identical payloads; the cluster earns its
+  speedup only if every served answer matches the in-process compiler
+  exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..codegen import CodegenError
+from ..engine import ExperimentEngine
+from ..experiments.workload import (WorkloadSpec, generate_machine,
+                                    mutate_one_transition)
+from ..fuzz.generate import DEFAULT_PROFILES, random_machine
+from .protocol import compile_params, compile_result_payload, job_from_params
+
+__all__ = ["LoadgenSpec", "LoadReport", "build_corpus", "run_load",
+           "verify_payloads"]
+
+
+@dataclass(frozen=True)
+class LoadgenSpec:
+    """Shape of one generated corpus (deterministic in ``seed``)."""
+
+    machines: int = 3            # structured workload families
+    mutants: int = 3             # near-duplicate chain per family
+    fuzz_machines: int = 4       # fuzz-generated shape diversity
+    patterns: Tuple[str, ...] = ("nested-switch", "state-table")
+    levels: Tuple[str, ...] = ("O0", "O2")
+    targets: Tuple[Optional[str], ...] = (None, "rt16")
+    duplicate_fraction: float = 0.15
+    asm_fraction: float = 0.1
+    seed: int = 20260808
+
+
+def build_corpus(spec: LoadgenSpec = LoadgenSpec(),
+                 screen: bool = True) -> List[Dict[str, Any]]:
+    """A shuffled list of wire-level compile-params objects.
+
+    With ``screen=True`` (default) every job is pre-compiled on a
+    scratch engine and jobs a generator rejects (``CodegenError``) are
+    dropped, so load runs measure throughput, not error handling.
+    """
+    rng = Random(spec.seed)
+    machines: List[Any] = []
+    for index in range(spec.machines):
+        parent = generate_machine(WorkloadSpec(
+            n_live=4 + index, events_per_state=2,
+            seed=spec.seed + index, name=f"LoadFam{index}"))
+        machines.append(parent)
+        for mutant_index in range(spec.mutants):
+            machines.append(mutate_one_transition(parent, mutant_index))
+    for index in range(spec.fuzz_machines):
+        profile = DEFAULT_PROFILES[index % len(DEFAULT_PROFILES)]
+        machine, _alphabet, _features = random_machine(
+            rng, profile, name=f"LoadFuzz{index}")
+        machines.append(machine)
+
+    jobs: List[Dict[str, Any]] = []
+    for index, machine in enumerate(machines):
+        for pattern in spec.patterns:
+            jobs.append(compile_params(
+                machine, pattern=pattern,
+                level=spec.levels[index % len(spec.levels)],
+                target=spec.targets[index % len(spec.targets)],
+                want_asm=rng.random() < spec.asm_fraction))
+
+    n_duplicates = int(len(jobs) * spec.duplicate_fraction)
+    jobs.extend(rng.choice(jobs) for _ in range(n_duplicates))
+    rng.shuffle(jobs)
+
+    if screen:
+        scratch = ExperimentEngine()
+        screened = []
+        for params in jobs:
+            job = job_from_params(params)
+            try:
+                scratch.compile_machine(job.machine, pattern=job.pattern,
+                                        level=job.level, target=job.target,
+                                        semantics=job.semantics)
+            except CodegenError:
+                continue
+            screened.append(params)
+        jobs = screened
+    return jobs
+
+
+@dataclass
+class LoadReport:
+    """What one :func:`run_load` run measured."""
+
+    jobs: int
+    unique_jobs: int
+    elapsed_s: float
+    jobs_per_sec: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    busy_retries: int
+    clients: int
+    batch_size: int
+    #: served result payloads, in corpus order.
+    payloads: List[Dict[str, Any]] = field(repr=False, default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"jobs": self.jobs, "unique_jobs": self.unique_jobs,
+                "elapsed_s": self.elapsed_s,
+                "jobs_per_sec": self.jobs_per_sec,
+                "p50_ms": self.p50_ms, "p90_ms": self.p90_ms,
+                "p99_ms": self.p99_ms,
+                "busy_retries": self.busy_retries,
+                "clients": self.clients, "batch_size": self.batch_size}
+
+
+def _percentile(sorted_samples: Sequence[float], q: float) -> float:
+    if not sorted_samples:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_samples)))
+    return sorted_samples[rank - 1]
+
+
+def run_load(make_client: Callable[[], Any],
+             corpus: Sequence[Dict[str, Any]],
+             batch_size: int = 8,
+             clients: int = 2) -> LoadReport:
+    """Drive *corpus* through the service via *clients* concurrent
+    connections in batches of *batch_size*; returns a
+    :class:`LoadReport` with payloads in corpus order.
+
+    *make_client* builds one connected
+    :class:`~repro.service.client.ServiceClient`-compatible object per
+    thread (e.g. ``handle.client`` of a
+    :class:`~repro.service.server.ServiceThread`).
+    """
+    corpus = list(corpus)
+    clients = max(1, int(clients))
+    batch_size = max(1, int(batch_size))
+    payloads: List[Optional[Dict[str, Any]]] = [None] * len(corpus)
+    latencies: List[List[float]] = [[] for _ in range(clients)]
+    busy_counts = [0] * clients
+    errors: List[BaseException] = []
+    # Contiguous batch assignment: batch b goes to thread b % clients.
+    batches = [(start, corpus[start:start + batch_size])
+               for start in range(0, len(corpus), batch_size)]
+
+    def drive(thread_index: int) -> None:
+        try:
+            client = make_client()
+        except Exception as exc:          # pragma: no cover - setup only
+            errors.append(exc)
+            return
+        try:
+            for batch_index, (start, batch) in enumerate(batches):
+                if batch_index % clients != thread_index:
+                    continue
+                began = time.perf_counter()
+                results = client.submit_batch(batch)
+                latencies[thread_index].append(
+                    time.perf_counter() - began)
+                for offset, payload in enumerate(results):
+                    payloads[start + offset] = payload
+            busy_counts[thread_index] = getattr(
+                client, "busy_retries_used", 0)
+        except BaseException as exc:
+            errors.append(exc)
+        finally:
+            close = getattr(client, "close", None)
+            if close is not None:
+                close()
+
+    threads = [threading.Thread(target=drive, args=(index,),
+                                name=f"loadgen-{index}")
+               for index in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+
+    samples = sorted(sample for per_thread in latencies
+                     for sample in per_thread)
+    unique = {json.dumps(params, sort_keys=True) for params in corpus}
+    return LoadReport(
+        jobs=len(corpus), unique_jobs=len(unique), elapsed_s=elapsed,
+        jobs_per_sec=len(corpus) / elapsed if elapsed > 0 else 0.0,
+        p50_ms=_percentile(samples, 0.50) * 1000.0,
+        p90_ms=_percentile(samples, 0.90) * 1000.0,
+        p99_ms=_percentile(samples, 0.99) * 1000.0,
+        busy_retries=sum(busy_counts), clients=clients,
+        batch_size=batch_size, payloads=list(payloads))
+
+
+def verify_payloads(corpus: Sequence[Dict[str, Any]],
+                    payloads: Sequence[Optional[Dict[str, Any]]],
+                    engine: Optional[ExperimentEngine] = None
+                    ) -> List[int]:
+    """Indices whose served payload differs from an in-process
+    reference compile (empty list == byte-identical service).
+
+    Comparison is canonical-JSON equality of the full result payload —
+    fingerprints, sizes, per-function sizes, pass statistics and (when
+    requested) the assembly listing all must match.
+    """
+    reference = engine if engine is not None else ExperimentEngine()
+    divergent: List[int] = []
+    for index, (params, payload) in enumerate(zip(corpus, payloads)):
+        job = job_from_params(params)
+        result = reference.compile_machine(
+            job.machine, pattern=job.pattern, level=job.level,
+            target=job.target, semantics=job.semantics)
+        expected = compile_result_payload(
+            job, result, want_asm=bool(params.get("want_asm")))
+        if payload is None or \
+                json.dumps(expected, sort_keys=True) != \
+                json.dumps(payload, sort_keys=True):
+            divergent.append(index)
+    return divergent

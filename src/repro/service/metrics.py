@@ -1,0 +1,214 @@
+"""Service observability: latency histograms, queue gauges, worker
+counters — everything the ``metrics`` endpoint serves.
+
+Design rules, in the measure-don't-guess tradition:
+
+* **Scrape-stable schema.**  :meth:`ServiceMetrics.payload` is plain
+  JSON with a ``schema`` stamp; CI gates (``scripts/check_service_slo``)
+  assert its shape, so extending it is additive and renaming is a
+  schema bump.
+* **Cheap on the hot path.**  Recording one request is a bucket
+  increment and a few integer adds under one lock; percentile math
+  happens only at scrape time.
+* **Histograms, not reservoirs.**  Latencies land in fixed log-spaced
+  buckets (~28 per decade would be overkill; we use x1.35 steps from
+  0.05 ms to ~2 min, 39 buckets).  Percentiles are reported as the
+  upper bound of the covering bucket — deterministic, mergeable, and
+  within one bucket width of the true quantile, which is the right
+  trade for an SLO gate.
+
+The module is asyncio-agnostic: the server calls it from the event
+loop *and* worker-completion callbacks (executor threads), hence the
+lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["METRICS_SCHEMA_VERSION", "LatencyHistogram",
+           "EndpointMetrics", "ServiceMetrics"]
+
+#: Bump when the ``payload()`` shape changes incompatibly.
+METRICS_SCHEMA_VERSION = 1
+
+
+def _bounds() -> List[float]:
+    bounds = []
+    edge = 0.00005                      # 0.05 ms
+    while edge < 120.0:                 # 2 minutes
+        bounds.append(edge)
+        edge *= 1.35
+    bounds.append(float("inf"))
+    return bounds
+
+
+_BOUNDS = _bounds()
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram (seconds in, milliseconds out)."""
+
+    __slots__ = ("counts", "count", "total")
+
+    def __init__(self) -> None:
+        self.counts = [0] * len(_BOUNDS)
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, seconds: float) -> None:
+        index = 0
+        for index, bound in enumerate(_BOUNDS):   # 39 bounds: linear
+            if seconds <= bound:                  # scan beats bisect
+                break                             # at this size
+        self.counts[index] += 1
+        self.count += 1
+        self.total += seconds
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Upper bound (ms) of the bucket covering quantile *q*."""
+        if not self.count:
+            return None
+        need = max(1, int(q * self.count + 0.9999999))
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= need:
+                bound = _BOUNDS[index]
+                if bound == float("inf"):
+                    bound = _BOUNDS[-2] * 1.35
+                return bound * 1000.0
+        return _BOUNDS[-2] * 1000.0
+
+    @property
+    def mean_ms(self) -> Optional[float]:
+        if not self.count:
+            return None
+        return self.total / self.count * 1000.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.percentile(0.50),
+            "p90_ms": self.percentile(0.90),
+            "p99_ms": self.percentile(0.99),
+        }
+
+
+class EndpointMetrics:
+    """Latency + outcome counters of one wire operation."""
+
+    __slots__ = ("latency", "errors", "busy")
+
+    def __init__(self) -> None:
+        self.latency = LatencyHistogram()
+        self.errors = 0
+        self.busy = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload = self.latency.as_dict()
+        payload["errors"] = self.errors
+        payload["busy"] = self.busy
+        return payload
+
+
+class ServiceMetrics:
+    """The cluster's one metrics registry (thread-safe).
+
+    Tracks per-endpoint latency histograms, the bounded-queue gauges
+    (depth, high water, rejections), and worker-pool execution time for
+    the utilization figure.  Worker *fault* counters (deaths, restarts,
+    retried and failed chunks) live on the pool's own stats object and
+    are merged in at :meth:`payload` time.
+    """
+
+    def __init__(self, queue_limit: Optional[int] = None) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self.queue_limit = queue_limit
+        self.queue_depth = 0
+        self.queue_high_water = 0
+        self.busy_rejections = 0
+        self.jobs_done = 0
+        self.busy_seconds = 0.0          # summed job execution time
+        self._endpoints: Dict[str, EndpointMetrics] = {}
+
+    # -- recording (hot path) ----------------------------------------------
+
+    def observe(self, op: str, seconds: float, outcome: str = "ok") -> None:
+        """One request of *op* took *seconds*; outcome is ``ok`` |
+        ``error`` | ``busy``."""
+        with self._lock:
+            endpoint = self._endpoints.get(op)
+            if endpoint is None:
+                endpoint = self._endpoints[op] = EndpointMetrics()
+            endpoint.latency.record(seconds)
+            if outcome == "error":
+                endpoint.errors += 1
+            elif outcome == "busy":
+                endpoint.busy += 1
+
+    def enqueue(self, n: int) -> None:
+        """*n* compile jobs admitted to the bounded queue."""
+        with self._lock:
+            self.queue_depth += n
+            if self.queue_depth > self.queue_high_water:
+                self.queue_high_water = self.queue_depth
+
+    def dequeue(self, n: int, busy_seconds: float = 0.0) -> None:
+        """*n* jobs finished after *busy_seconds* of execution time."""
+        with self._lock:
+            self.queue_depth -= n
+            self.jobs_done += n
+            self.busy_seconds += busy_seconds
+
+    def reject(self) -> None:
+        with self._lock:
+            self.busy_rejections += 1
+
+    # -- scraping -----------------------------------------------------------
+
+    def utilization(self, workers: int) -> Optional[float]:
+        """Mean busy fraction of the worker slots since startup."""
+        elapsed = time.monotonic() - self._started
+        if workers <= 0 or elapsed <= 0.0:
+            return None
+        return min(1.0, self.busy_seconds / (elapsed * workers))
+
+    def payload(self, workers: int = 0,
+                pool_stats: Optional[Dict[str, Any]] = None,
+                cache: Optional[Dict[str, Any]] = None,
+                shard_sizes: Optional[Dict[str, int]] = None,
+                ) -> Dict[str, Any]:
+        """The ``metrics`` endpoint's JSON document."""
+        with self._lock:
+            endpoints = {op: endpoint.as_dict()
+                         for op, endpoint in sorted(self._endpoints.items())}
+            queue = {
+                "depth": self.queue_depth,
+                "limit": self.queue_limit,
+                "high_water": self.queue_high_water,
+                "busy_rejections": self.busy_rejections,
+            }
+            jobs_done = self.jobs_done
+        worker_block: Dict[str, Any] = {
+            "configured": workers,
+            "mode": "process-pool" if workers else "in-process",
+            "jobs_done": jobs_done,
+            "utilization": self.utilization(workers),
+        }
+        worker_block.update(pool_stats or {})
+        payload: Dict[str, Any] = {
+            "schema": METRICS_SCHEMA_VERSION,
+            "uptime_s": time.monotonic() - self._started,
+            "endpoints": endpoints,
+            "queue": queue,
+            "workers": worker_block,
+            "cache": cache or {},
+        }
+        if shard_sizes is not None:
+            payload["shards"] = shard_sizes
+        return payload

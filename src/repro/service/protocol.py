@@ -14,7 +14,18 @@ batch    ``{"jobs": [<compile params>, ...]}`` -> ``{"results": [...],
          "deduplicated": N}`` — results in input order, grid deduped
          by the engine's batch planner
 stats    ``{}`` -> engine cache statistics + per-client counters
+metrics  ``{}`` -> latency histograms, queue gauges, worker fault
+         counters, cache counters, shard sizes
+         (:mod:`repro.service.metrics`; schema-stamped)
 ======== ==============================================================
+
+A server running with a bounded queue may answer ``compile``/``batch``
+with a **busy reply** instead: ``{"id": N, "ok": false, "busy": true,
+"retry": true|false, "error": "..."}`` — the wire protocol's 429.
+``retry: true`` means a backoff resend can succeed
+(:class:`~repro.service.client.ServiceClient` does this
+transparently); ``retry: false`` marks a request that can never be
+admitted (a batch larger than the whole queue).
 
 Machines travel as their canonical JSON dict
 (:func:`repro.uml.serialize.machine_to_dict`) and semantics configs via

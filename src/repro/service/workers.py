@@ -1,0 +1,318 @@
+""":class:`WorkerPool` — compile workers in separate processes.
+
+The asyncio server's default executor is a *thread* pool: pure-Python
+compiles are GIL-bound there, so one busy compile starves the rest and
+N threads buy no throughput.  This pool runs compiles in N worker
+**processes** instead.  Each worker rebuilds its own
+:class:`~repro.engine.ExperimentEngine` from a picklable
+:class:`~repro.engine.EngineSpec` (live engines don't cross process
+boundaries), so every worker owns a private in-memory cache plus the
+PR 7 unit-tier delta cache — while a spec with ``cache_dir``/``shards``
+points them all at one consistent-hash-sharded on-disk store, making
+the farm's persistent cache coherent without any cross-process locks
+(the :class:`~repro.store.ArtifactStore` is multi-process-safe by
+construction).
+
+Work travels as *chunks*: lists of wire-level compile params.  A chunk
+is executed start-to-finish by one worker, which is what makes the
+locality sort (:mod:`repro.service.batching`) pay off — near-duplicate
+jobs grouped into one chunk hit that worker's warm unit cache.
+Workers return the canonical result payloads
+(:func:`~repro.service.protocol.compile_result_payload`), so a
+cluster-served response is byte-identical to an in-process compile.
+
+**Fault tolerance**: an abruptly dead worker breaks the whole
+``ProcessPoolExecutor`` (every pending future raises
+``BrokenProcessPool``).  The pool treats that as a *pool generation*
+change: the first completion callback to notice rebuilds the executor
+exactly once, and every interrupted chunk is resubmitted on the new
+generation, up to ``max_retries`` times.  Deterministic failures (a
+malformed machine) are *not* retried — they propagate to the one
+request that caused them.  All fault counters surface in the
+``metrics`` endpoint.
+
+Workers honor test-only *chaos* directives (``{"chaos": {...}}`` in a
+job's params) **only** when the pool was built with
+``allow_chaos=True`` — the fault-injection suite uses them to kill a
+worker mid-batch (``exit_before`` a marker file: die once, then
+succeed on retry), to crash-loop (``exit_always``), and to stub a slow
+worker (``sleep``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..engine import EngineSpec
+
+__all__ = ["WorkerPool", "PoolStats"]
+
+#: Counters a worker's cache snapshot carries (summed across workers).
+_STAT_KEYS = ("jobs", "hits", "misses", "disk_hits", "unit_hits",
+              "unit_misses", "unit_disk_hits", "reused_units",
+              "compiled_units")
+
+
+# ---------------------------------------------------------------------------
+# worker-process side (module-level: must be picklable by spawn)
+# ---------------------------------------------------------------------------
+
+_WORKER_ENGINE = None
+_WORKER_TOKEN = ""
+_WORKER_CHAOS = False
+_WORKER_JOBS = 0
+
+
+def _init_worker(spec: EngineSpec, allow_chaos: bool) -> None:
+    global _WORKER_ENGINE, _WORKER_TOKEN, _WORKER_CHAOS, _WORKER_JOBS
+    _WORKER_ENGINE = spec.build()
+    _WORKER_TOKEN = os.urandom(8).hex()
+    _WORKER_CHAOS = bool(allow_chaos)
+    _WORKER_JOBS = 0
+
+
+def _apply_chaos(chaos: Dict[str, Any]) -> None:
+    """Honor one job's fault-injection directive (test pools only)."""
+    sleep_s = chaos.get("sleep")
+    if sleep_s:
+        time.sleep(float(sleep_s))
+    marker = chaos.get("exit_before")
+    if marker:
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass                 # already died here once: proceed
+        else:
+            os.close(fd)
+            os._exit(13)         # simulate a hard worker death mid-chunk
+    if chaos.get("exit_always"):
+        os._exit(13)
+
+
+def _stats_snapshot() -> Dict[str, Any]:
+    engine = _WORKER_ENGINE
+    stats = engine.stats
+    units = engine.unit_stats
+    delta = engine.delta_stats
+    return {
+        "token": _WORKER_TOKEN,
+        "pid": os.getpid(),
+        "jobs": _WORKER_JOBS,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "disk_hits": stats.disk_hits,
+        "unit_hits": units.hits,
+        "unit_misses": units.misses,
+        "unit_disk_hits": units.disk_hits,
+        "reused_units": delta.reused_units,
+        "compiled_units": delta.compiled_units,
+    }
+
+
+def _run_chunk(chunk: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Compile every job of *chunk* on this worker's engine."""
+    global _WORKER_JOBS
+    from .protocol import compile_result_payload, job_from_params
+    started = time.perf_counter()
+    payloads: List[Dict[str, Any]] = []
+    for params in chunk:
+        if _WORKER_CHAOS and isinstance(params.get("chaos"), dict):
+            _apply_chaos(params["chaos"])
+        job = job_from_params(params)
+        result = _WORKER_ENGINE.compile_machine(
+            job.machine, pattern=job.pattern, level=job.level,
+            target=job.target, semantics=job.semantics)
+        payloads.append(compile_result_payload(
+            job, result, want_asm=bool(params.get("want_asm"))))
+        _WORKER_JOBS += 1
+    return {
+        "payloads": payloads,
+        "busy_s": time.perf_counter() - started,
+        "stats": _stats_snapshot(),
+    }
+
+
+def _ping(sleep_s: float) -> str:
+    """Startup barrier task: occupy one worker long enough that the
+    pool spins up its siblings; returns the worker token."""
+    time.sleep(sleep_s)
+    return _WORKER_TOKEN
+
+
+# ---------------------------------------------------------------------------
+# server side
+# ---------------------------------------------------------------------------
+
+class PoolStats:
+    """Thread-safe fault counters of one pool."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.deaths = 0            # pool-breaking worker exits observed
+        self.restarts = 0          # executor rebuilds performed
+        self.retried_chunks = 0    # chunks resubmitted after a death
+        self.failed_chunks = 0     # chunks abandoned (retries exhausted)
+
+    def bump(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + by)
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return {"deaths": self.deaths, "restarts": self.restarts,
+                    "retried_chunks": self.retried_chunks,
+                    "failed_chunks": self.failed_chunks}
+
+
+class WorkerPool:
+    """N compile-worker processes behind a retrying submit surface."""
+
+    def __init__(self, spec: EngineSpec, workers: int,
+                 allow_chaos: bool = False, max_retries: int = 2,
+                 mp_method: Optional[str] = None) -> None:
+        self.spec = spec
+        self.workers = max(1, int(workers))
+        self.allow_chaos = bool(allow_chaos)
+        self.max_retries = max(0, int(max_retries))
+        # spawn by default: forking a live asyncio server process (event
+        # loop + executor threads holding locks) is a deadlock lottery.
+        self._mp_method = mp_method or "spawn"
+        self.stats = PoolStats()
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._closed = False
+        self._worker_stats: Dict[str, Dict[str, Any]] = {}
+        self._executor = self._new_executor()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _new_executor(self) -> ProcessPoolExecutor:
+        context = multiprocessing.get_context(self._mp_method)
+        return ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=context,
+            initializer=_init_worker,
+            initargs=(self.spec, self.allow_chaos))
+
+    def wait_ready(self, timeout: float = 60.0) -> int:
+        """Block until every worker process has built its engine;
+        returns the number of distinct workers seen.  Load generators
+        call this so pool spin-up is excluded from throughput windows.
+        """
+        barrier = [self._executor.submit(_ping, 0.2)
+                   for _ in range(self.workers)]
+        tokens = {future.result(timeout=timeout) for future in barrier}
+        return len(tokens)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._closed = True
+            executor = self._executor
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- submission ---------------------------------------------------------
+
+    def submit_chunk(self, chunk: Sequence[Dict[str, Any]]) -> "Future":
+        """Run *chunk* on one worker; the future resolves to the worker
+        reply (``payloads`` + ``busy_s`` + ``stats``).  Worker deaths
+        are retried transparently up to ``max_retries`` times."""
+        outer: Future = Future()
+        self._submit(list(chunk), outer, self.max_retries)
+        return outer
+
+    def _submit(self, chunk: List[Dict[str, Any]], outer: Future,
+                retries_left: int) -> None:
+        with self._lock:
+            if self._closed:
+                outer.set_exception(
+                    RuntimeError("worker pool is shut down"))
+                return
+            generation = self._generation
+            try:
+                inner = self._executor.submit(_run_chunk, chunk)
+            except BrokenProcessPool as exc:
+                # The pool broke between submissions; rebuild inline.
+                self._rebuild_locked(generation)
+                if retries_left > 0:
+                    self.stats.bump("retried_chunks")
+                    generation = self._generation
+                    try:
+                        inner = self._executor.submit(_run_chunk, chunk)
+                        retries_left -= 1
+                    except BrokenProcessPool as again:
+                        self.stats.bump("failed_chunks")
+                        outer.set_exception(again)
+                        return
+                else:
+                    self.stats.bump("failed_chunks")
+                    outer.set_exception(exc)
+                    return
+
+        def on_done(done: Future, _gen: int = generation,
+                    _retries: int = retries_left) -> None:
+            exc = done.exception()
+            if exc is None:
+                reply = done.result()
+                self._note_stats(reply.get("stats"))
+                outer.set_result(reply)
+                return
+            if isinstance(exc, BrokenProcessPool):
+                with self._lock:
+                    self._rebuild_locked(_gen)
+                if _retries > 0:
+                    self.stats.bump("retried_chunks")
+                    self._submit(chunk, outer, _retries - 1)
+                    return
+                self.stats.bump("failed_chunks")
+            outer.set_exception(exc)
+
+        inner.add_done_callback(on_done)
+
+    def _rebuild_locked(self, generation: int) -> None:
+        """Replace a broken executor (callers hold ``self._lock`` or
+        are inside a ``with self._lock`` block).  Many chunks observe
+        one death; the generation counter makes exactly one of them
+        perform the rebuild."""
+        self.stats.bump("deaths")
+        if generation != self._generation or self._closed:
+            return
+        old = self._executor
+        self._executor = self._new_executor()
+        self._generation += 1
+        self.stats.bump("restarts")
+        # Old executor's processes are gone; reap its bookkeeping
+        # without waiting (its futures already errored).
+        threading.Thread(target=old.shutdown, kwargs={"wait": False},
+                         daemon=True).start()
+
+    # -- introspection ------------------------------------------------------
+
+    def _note_stats(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        if not snapshot or "token" not in snapshot:
+            return
+        with self._lock:
+            self._worker_stats[snapshot["token"]] = snapshot
+
+    def aggregate_stats(self) -> Dict[str, Any]:
+        """Summed cache counters across the latest snapshot of every
+        worker ever seen (dead workers' last words included — their
+        cache work happened)."""
+        with self._lock:
+            snapshots = list(self._worker_stats.values())
+        totals = {key: 0 for key in _STAT_KEYS}
+        for snapshot in snapshots:
+            for key in _STAT_KEYS:
+                totals[key] += int(snapshot.get(key, 0))
+        totals["workers_reporting"] = len(snapshots)
+        return totals
+
+    def per_worker(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return sorted(self._worker_stats.values(),
+                          key=lambda s: (s.get("pid", 0),
+                                         s.get("token", "")))

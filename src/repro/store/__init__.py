@@ -13,7 +13,10 @@ shares a ``--cache-dir`` shares one warm cache.
 * :mod:`~repro.store.artifact` — :class:`ArtifactStore`: two-level
   sharded object directories, atomic write-rename publication
   (``O_EXCL`` temp files, lockless reads), LRU metadata via entry
-  mtimes, a ``gc(max_bytes)`` sweep, and corrupted-entry recovery.
+  mtimes, a ``gc(max_bytes)`` sweep, and corrupted-entry recovery;
+* :mod:`~repro.store.sharding` — :class:`HashRing`, the consistent-hash
+  assignment of fingerprints to store shards the compile cluster's
+  :class:`~repro.engine.backends.ShardedBackend` routes through.
 
 Safe for concurrent use from multiple processes: writers never publish
 partial files, readers never block writers, and duplicate writers of
@@ -23,9 +26,10 @@ one key converge on equivalent content.
 from .artifact import ArtifactStore, GcReport, StoreStats
 from .entry import (ENTRY_MAGIC, CorruptEntryError, EntryError,
                     SchemaMismatchError, decode_entry, encode_entry)
+from .sharding import HashRing
 
 __all__ = [
-    "ArtifactStore", "GcReport", "StoreStats",
+    "ArtifactStore", "GcReport", "StoreStats", "HashRing",
     "ENTRY_MAGIC", "EntryError", "CorruptEntryError",
     "SchemaMismatchError", "encode_entry", "decode_entry",
 ]

@@ -1,0 +1,87 @@
+"""Consistent-hash ring: stable assignment of keys to store shards.
+
+A cluster spreads engine fingerprints over N :class:`ArtifactStore`
+shards.  Naive modulo hashing (``hash(key) % N``) reassigns nearly
+every key when N changes; a consistent-hash ring reassigns only the
+keys that land on the touched shard — on average ``1/N`` of the key
+space — so growing or shrinking a warm store farm keeps almost all of
+it warm.
+
+Each node contributes *replicas* points to the ring (the classic
+virtual-node trick, which evens out the per-node share); a key is
+owned by the first point clockwise from its own hash.  Two exact
+guarantees fall out of the construction, and the property tests assert
+both:
+
+* **removal** — keys not owned by the removed node keep their owner;
+* **addition** — a key either keeps its owner or moves to the new
+  node; it never migrates between surviving nodes.
+
+The ring is immutable; "add/remove a shard" is building a new ring
+over the new node set.  Hashes are SHA-256 (the repo-wide fingerprint
+hash), so assignment is stable across processes and Python versions —
+no dependence on ``hash()`` randomization.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["HashRing"]
+
+
+def _point(data: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(data.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Immutable consistent-hash ring over a set of node names."""
+
+    def __init__(self, nodes: Iterable[str], replicas: int = 64) -> None:
+        self.nodes: Tuple[str, ...] = tuple(sorted(set(nodes)))
+        if not self.nodes:
+            raise ValueError("a hash ring needs at least one node")
+        self.replicas = int(replicas)
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        points: List[Tuple[int, str]] = []
+        for node in self.nodes:
+            for i in range(self.replicas):
+                # Tie-break collisions by node name (the sort below):
+                # identical point sets must resolve identically no
+                # matter the construction order.
+                points.append((_point(f"{node}#{i}"), node))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [n for _, n in points]
+
+    def lookup(self, key: str) -> str:
+        """The node owning *key* (first ring point clockwise)."""
+        h = _point(key)
+        index = bisect.bisect_right(self._hashes, h)
+        if index == len(self._hashes):
+            index = 0                    # wrap: the ring is a circle
+        return self._owners[index]
+
+    def with_node(self, node: str) -> "HashRing":
+        """A new ring with *node* added."""
+        return HashRing(self.nodes + (node,), replicas=self.replicas)
+
+    def without_node(self, node: str) -> "HashRing":
+        """A new ring with *node* removed."""
+        remaining = tuple(n for n in self.nodes if n != node)
+        return HashRing(remaining, replicas=self.replicas)
+
+    def assignment(self, keys: Iterable[str]) -> Dict[str, str]:
+        """``{key: owning node}`` for every key in *keys*."""
+        return {key: self.lookup(key) for key in keys}
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return (f"HashRing(nodes={list(self.nodes)!r}, "
+                f"replicas={self.replicas})")

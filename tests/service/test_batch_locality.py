@@ -1,0 +1,129 @@
+"""Locality sort (ROADMAP item 5 follow-up): near-duplicates together.
+
+The cluster's batch path sorts deduplicated jobs so mutant chains and
+sweep variants of one machine ride one contiguous chunk to one
+worker's warm unit cache.  The decisive test simulates the pool
+deterministically — one fresh engine per chunk, exactly what a cold
+worker is — and measures the unit-cache hit rate the schedule earns:
+the sorted schedule must beat the interleaved one on a mutant-chain
+corpus, because that reuse is the entire point of the sort.
+
+The pure helpers (dedup, chunk planning, key shape) are pinned
+alongside.
+"""
+
+import pytest
+
+from repro.engine import ExperimentEngine
+from repro.experiments.workload import (WorkloadSpec, generate_machine,
+                                        mutate_one_transition)
+from repro.service.batching import (dedup_params, locality_key,
+                                    params_digest, plan_chunks,
+                                    sort_for_locality)
+from repro.service.protocol import compile_params, job_from_params
+
+
+def _mutant_chain_corpus(families=4, mutants=3):
+    """Round-robin interleaved mutant chains: worst case for a naive
+    contiguous split, ideal material for the sort."""
+    chains = []
+    for family in range(families):
+        parent = generate_machine(WorkloadSpec(
+            n_live=4, seed=100 + family, name=f"Fam{family}"))
+        chain = [parent] + [mutate_one_transition(parent, index)
+                            for index in range(mutants)]
+        chains.append([compile_params(machine) for machine in chain])
+    interleaved = []
+    for position in range(mutants + 1):
+        for chain in chains:
+            interleaved.append(chain[position])
+    return interleaved
+
+
+def _unit_hit_rate(chunks):
+    """Run each chunk on a fresh engine (= a cold worker) and return
+    the pooled unit-cache hit rate."""
+    hits = misses = 0
+    for chunk in chunks:
+        engine = ExperimentEngine()
+        for _digest, params in chunk:
+            job = job_from_params(params)
+            engine.compile_machine(job.machine, pattern=job.pattern,
+                                   level=job.level, target=job.target,
+                                   semantics=job.semantics)
+        hits += engine.unit_stats.hits
+        misses += engine.unit_stats.misses
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+class TestLocalityPaysInUnitHits:
+    def test_sorted_chunks_beat_interleaved_on_mutant_chains(self):
+        corpus = _mutant_chain_corpus(families=4, mutants=3)
+        order, unique = dedup_params(corpus)
+        items = list(unique.items())
+        n_chunks = 4                          # = families: the clean split
+
+        unsorted_rate = _unit_hit_rate(plan_chunks(items, n_chunks))
+        sorted_rate = _unit_hit_rate(
+            plan_chunks(sort_for_locality(items), n_chunks))
+
+        # Sorted: each chunk is one family's chain -> mutants reuse the
+        # parent's units.  Interleaved: chunks mix families -> cold.
+        assert sorted_rate > unsorted_rate, (
+            f"sorted {sorted_rate:.2f} <= unsorted {unsorted_rate:.2f}")
+        assert sorted_rate >= 0.4             # chains really do share units
+
+    def test_sort_groups_families_contiguously(self):
+        corpus = _mutant_chain_corpus(families=3, mutants=2)
+        _order, unique = dedup_params(corpus)
+        ordered = sort_for_locality(list(unique.items()))
+        names = [params["machine"]["name"] for _d, params in ordered]
+        # each family's name appears in exactly one contiguous run
+        seen = set()
+        previous = None
+        for name in names:
+            if name != previous:
+                assert name not in seen, f"{name} split into two runs"
+                seen.add(name)
+            previous = name
+
+
+class TestBatchingHelpers:
+    def test_dedup_preserves_order_and_folds_duplicates(self):
+        machine = generate_machine(WorkloadSpec(n_live=2, seed=1,
+                                                name="Dedup"))
+        a = compile_params(machine, pattern="nested-switch")
+        b = compile_params(machine, pattern="state-table")
+        order, unique = dedup_params([a, b, dict(a)])
+        assert len(order) == 3 and len(unique) == 2
+        assert order[0] == order[2] == params_digest(a)
+
+    def test_digest_is_canonical(self):
+        machine = generate_machine(WorkloadSpec(n_live=2, seed=2,
+                                                name="Canon"))
+        params = compile_params(machine)
+        shuffled = dict(reversed(list(params.items())))
+        assert params_digest(params) == params_digest(shuffled)
+
+    def test_plan_chunks_is_a_partition(self):
+        items = list(range(10))
+        for n_chunks in (1, 3, 4, 10, 25):
+            chunks = plan_chunks(items, n_chunks)
+            assert [x for chunk in chunks for x in chunk] == items
+            assert len(chunks) == min(10, n_chunks)
+            sizes = [len(chunk) for chunk in chunks]
+            assert max(sizes) - min(sizes) <= 1
+        assert plan_chunks([], 4) == []
+
+    def test_locality_key_orders_levels_within_a_machine(self):
+        machine = generate_machine(WorkloadSpec(n_live=2, seed=3,
+                                                name="Key"))
+        o0 = compile_params(machine, level="O0")
+        o2 = compile_params(machine, level="O2")
+        other = compile_params(generate_machine(WorkloadSpec(
+            n_live=2, seed=4, name="Other")), level="O0")
+        ordered = sort_for_locality([
+            (params_digest(p), p) for p in (other, o2, o0)])
+        names = [p["machine"]["name"] for _d, p in ordered]
+        assert names == ["Key", "Key", "Other"]

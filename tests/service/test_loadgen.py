@@ -1,0 +1,80 @@
+"""Load generator: corpus determinism, screening, measurement, verify."""
+
+import json
+
+import pytest
+
+from repro.engine import ExperimentEngine
+from repro.service import (LoadgenSpec, ServiceThread, build_corpus,
+                           run_load, verify_payloads)
+
+_SMALL = LoadgenSpec(machines=1, mutants=1, fuzz_machines=2)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(_SMALL)
+
+
+class TestCorpus:
+    def test_deterministic_in_the_seed(self, corpus):
+        again = build_corpus(_SMALL)
+        assert json.dumps(corpus, sort_keys=True) == \
+            json.dumps(again, sort_keys=True)
+        different = build_corpus(LoadgenSpec(
+            machines=1, mutants=1, fuzz_machines=2, seed=999))
+        assert json.dumps(corpus, sort_keys=True) != \
+            json.dumps(different, sort_keys=True)
+
+    def test_screening_leaves_only_compilable_jobs(self, corpus):
+        assert len(corpus) > 0
+        # screened corpus must replay divergence-free on a fresh engine
+        engine = ExperimentEngine()
+        from repro.service.protocol import job_from_params
+        for params in corpus:
+            job = job_from_params(params)
+            engine.compile_machine(job.machine, pattern=job.pattern,
+                                   level=job.level, target=job.target,
+                                   semantics=job.semantics)
+
+    def test_mixes_families_duplicates_and_fuzz(self):
+        spec = LoadgenSpec(machines=2, mutants=2, fuzz_machines=2,
+                           duplicate_fraction=0.5)
+        jobs = build_corpus(spec, screen=False)
+        names = {params["machine"]["name"] for params in jobs}
+        assert any(name.startswith("LoadFam") for name in names)
+        assert any(name.startswith("LoadFuzz") for name in names)
+        digests = [json.dumps(params, sort_keys=True) for params in jobs]
+        assert len(set(digests)) < len(digests)   # duplicates exist
+
+
+class TestRunLoadAndVerify:
+    def test_measures_and_returns_payloads_in_order(self, corpus):
+        with ServiceThread(ExperimentEngine()) as handle:
+            report = run_load(handle.client, corpus, batch_size=3,
+                              clients=2)
+        assert report.jobs == len(corpus)
+        assert report.unique_jobs <= report.jobs
+        assert report.jobs_per_sec > 0
+        assert report.p50_ms <= report.p90_ms <= report.p99_ms
+        assert len(report.payloads) == len(corpus)
+        assert all(payload is not None for payload in report.payloads)
+        assert verify_payloads(corpus, report.payloads) == []
+        summary = report.as_dict()
+        assert "payloads" not in summary      # summaries stay small
+        assert summary["busy_retries"] == 0
+
+    def test_verify_flags_a_tampered_payload(self, corpus):
+        with ServiceThread(ExperimentEngine()) as handle:
+            report = run_load(handle.client, corpus, batch_size=4,
+                              clients=1)
+        tampered = list(report.payloads)
+        tampered[1] = dict(tampered[1], total_size=-1)
+        divergent = verify_payloads(corpus, tampered)
+        assert divergent == [1]
+
+    def test_client_error_propagates(self, corpus):
+        def broken_client():
+            raise ConnectionRefusedError("nobody home")
+        with pytest.raises(ConnectionRefusedError):
+            run_load(broken_client, corpus[:2], batch_size=1, clients=1)

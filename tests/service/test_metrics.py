@@ -1,0 +1,100 @@
+"""Metrics registry: histogram math and the scrape-document schema."""
+
+import pytest
+
+from repro.service.metrics import (METRICS_SCHEMA_VERSION,
+                                   LatencyHistogram, ServiceMetrics)
+
+
+class TestLatencyHistogram:
+    def test_empty_reports_none(self):
+        histogram = LatencyHistogram()
+        assert histogram.percentile(0.5) is None
+        assert histogram.mean_ms is None
+        assert histogram.as_dict()["count"] == 0
+
+    def test_percentile_brackets_the_samples(self):
+        histogram = LatencyHistogram()
+        for _ in range(100):
+            histogram.record(0.010)          # 10 ms
+        p50 = histogram.percentile(0.50)
+        # bucketed: the answer is the covering bucket's upper bound,
+        # within one x1.35 step of the true value.
+        assert 10.0 <= p50 <= 10.0 * 1.35
+        assert histogram.as_dict()["count"] == 100
+        assert histogram.mean_ms == pytest.approx(10.0, rel=1e-6)
+
+    def test_tail_quantile_lands_in_the_tail(self):
+        histogram = LatencyHistogram()
+        for _ in range(99):
+            histogram.record(0.001)
+        histogram.record(1.0)                # one 1 s outlier
+        assert histogram.percentile(0.50) < 5.0
+        assert histogram.percentile(0.99) < 5.0      # 99/100 are 1 ms
+        p999 = histogram.percentile(0.999)
+        assert p999 >= 1000.0                # the outlier's bucket
+
+    def test_out_of_range_samples_still_count(self):
+        histogram = LatencyHistogram()
+        histogram.record(10_000.0)           # beyond the last bound
+        assert histogram.as_dict()["count"] == 1
+        assert histogram.percentile(0.5) is not None
+
+
+class TestServiceMetricsQueue:
+    def test_depth_and_high_water(self):
+        metrics = ServiceMetrics(queue_limit=8)
+        metrics.enqueue(3)
+        metrics.enqueue(2)
+        assert metrics.queue_depth == 5 and metrics.queue_high_water == 5
+        metrics.dequeue(4, busy_seconds=1.5)
+        assert metrics.queue_depth == 1
+        assert metrics.queue_high_water == 5          # sticky
+        assert metrics.jobs_done == 4
+        assert metrics.busy_seconds == pytest.approx(1.5)
+
+    def test_utilization_bounds(self):
+        metrics = ServiceMetrics()
+        assert metrics.utilization(0) is None
+        metrics.dequeue(1, busy_seconds=10_000.0)     # absurd busy time
+        assert metrics.utilization(2) == 1.0          # capped
+
+
+class TestPayloadSchema:
+    def test_shape(self):
+        metrics = ServiceMetrics(queue_limit=16)
+        metrics.observe("compile", 0.01, "ok")
+        metrics.observe("compile", 0.02, "error")
+        metrics.observe("batch", 0.50, "busy")
+        metrics.enqueue(2)
+        metrics.dequeue(2, busy_seconds=0.3)
+        metrics.reject()
+        doc = metrics.payload(workers=2,
+                              pool_stats={"deaths": 1, "restarts": 1,
+                                          "retried_chunks": 2,
+                                          "failed_chunks": 0},
+                              cache={"hits": 5, "misses": 3,
+                                     "disk_hits": 1, "hit_rate": 0.625},
+                              shard_sizes={"shard-00": 4, "shard-01": 4})
+        assert doc["schema"] == METRICS_SCHEMA_VERSION
+        assert doc["uptime_s"] >= 0.0
+        compile_block = doc["endpoints"]["compile"]
+        assert compile_block["count"] == 2
+        assert compile_block["errors"] == 1
+        assert doc["endpoints"]["batch"]["busy"] == 1
+        assert doc["queue"] == {"depth": 0, "limit": 16,
+                                "high_water": 2, "busy_rejections": 1}
+        workers = doc["workers"]
+        assert workers["configured"] == 2
+        assert workers["mode"] == "process-pool"
+        assert workers["jobs_done"] == 2
+        assert workers["deaths"] == 1 and workers["retried_chunks"] == 2
+        assert 0.0 < workers["utilization"] <= 1.0
+        assert doc["cache"]["hit_rate"] == 0.625
+        assert doc["shards"] == {"shard-00": 4, "shard-01": 4}
+
+    def test_in_process_mode_omits_shards(self):
+        doc = ServiceMetrics().payload(workers=0)
+        assert doc["workers"]["mode"] == "in-process"
+        assert doc["workers"]["utilization"] is None
+        assert "shards" not in doc

@@ -1,0 +1,142 @@
+"""Consistent hashing: ring determinism and the reshard guarantees.
+
+The cluster's whole sharding story hangs on two properties of
+:class:`repro.store.HashRing`, checked here exhaustively and by
+hypothesis:
+
+* **removal stability** — dropping a shard never changes the owner of
+  a key the dropped shard didn't own (reads of previously written
+  fingerprints never miss on the surviving shards);
+* **addition minimality** — adding a shard only moves keys *onto* the
+  new shard (~1/N of them); nothing shuffles between the old shards.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import ShardedBackend, backend_from_spec
+from repro.store import HashRing
+
+_KEYS = [f"fingerprint-{i:04d}" for i in range(400)]
+
+
+class TestHashRingBasics:
+    def test_lookup_is_deterministic_and_total(self):
+        ring = HashRing(["a", "b", "c"])
+        owners = {key: ring.lookup(key) for key in _KEYS}
+        again = HashRing(["c", "b", "a"])       # order-insensitive
+        assert owners == {key: again.lookup(key) for key in _KEYS}
+        assert set(owners.values()) == {"a", "b", "c"}
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.lookup(key) == "only" for key in _KEYS)
+
+    def test_empty_ring_rejects_lookup(self):
+        with pytest.raises(ValueError):
+            HashRing([]).lookup("k")
+
+    def test_assignment_covers_every_key(self):
+        ring = HashRing(["a", "b"])
+        owners = ring.assignment(_KEYS)
+        assert sorted(owners) == sorted(_KEYS)
+        assert set(owners.values()) <= {"a", "b"}
+
+    def test_spread_is_roughly_even(self):
+        ring = HashRing([f"s{i}" for i in range(4)])
+        owners = ring.assignment(_KEYS)
+        for node in ring.nodes:
+            share = sum(1 for owner in owners.values() if owner == node)
+            # 400 keys over 4 shards with 64 vnodes: no shard should
+            # be empty or hog most of the space.
+            assert 20 <= share <= 250
+
+
+@st.composite
+def _ring_nodes(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    return [f"shard-{i:02d}" for i in range(n)]
+
+
+class TestReshardProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(nodes=_ring_nodes(), data=st.data())
+    def test_removal_never_moves_surviving_keys(self, nodes, data):
+        ring = HashRing(nodes)
+        dropped = data.draw(st.sampled_from(nodes))
+        shrunk = ring.without_node(dropped)
+        for key in _KEYS[:100]:
+            owner = ring.lookup(key)
+            if owner != dropped:
+                # a key the dropped shard didn't own stays put —
+                # previously written artifacts stay findable.
+                assert shrunk.lookup(key) == owner
+
+    @settings(max_examples=50, deadline=None)
+    @given(nodes=_ring_nodes())
+    def test_addition_only_moves_keys_to_the_new_node(self, nodes):
+        ring = HashRing(nodes)
+        grown = ring.with_node("shard-new")
+        moved = 0
+        for key in _KEYS:
+            before, after = ring.lookup(key), grown.lookup(key)
+            if before != after:
+                assert after == "shard-new"
+                moved += 1
+        # ~1/(N+1) of keys move; allow generous slack (vnode variance)
+        # but reject wholesale reshuffles.
+        assert moved <= 3 * len(_KEYS) / (len(nodes) + 1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(nodes=_ring_nodes())
+    def test_add_then_remove_is_identity(self, nodes):
+        ring = HashRing(nodes)
+        roundtrip = ring.with_node("shard-new").without_node("shard-new")
+        assert [roundtrip.lookup(key) for key in _KEYS[:100]] == \
+            [ring.lookup(key) for key in _KEYS[:100]]
+
+
+class TestShardedBackend:
+    def test_routing_is_stable_and_exhaustive(self, tmp_path):
+        backend = ShardedBackend.over_directory(str(tmp_path), 3)
+        for index, key in enumerate(_KEYS[:60]):
+            backend.store(key, {"value": index})
+        assert len(backend) == 60
+        for index, key in enumerate(_KEYS[:60]):
+            value, origin = backend.load(key)
+            assert value == {"value": index}
+        sizes = backend.shard_sizes()
+        assert sum(sizes.values()) == 60 and len(sizes) == 3
+
+    def test_surviving_shards_keep_serving_after_reshard(self, tmp_path):
+        """Rebuild over a *subset* of the shard directories: every key
+        a surviving shard owned before is still served from it."""
+        full = ShardedBackend.over_directory(str(tmp_path), 3)
+        for key in _KEYS[:90]:
+            full.store(key, key.upper())
+        survivors = [(name, shard) for name, shard in full.shards.items()
+                     if name != full.shard_for(_KEYS[0])]
+        shrunk = ShardedBackend(survivors)
+        hits = 0
+        for key in _KEYS[:90]:
+            owner = full.shard_for(key)
+            if owner == full.shard_for(_KEYS[0]):
+                continue                     # lived on the dropped shard
+            assert shrunk.shard_for(key) == owner
+            value, _origin = shrunk.load(key)
+            assert value == key.upper()
+            hits += 1
+        assert hits > 0
+
+    def test_backend_from_spec_shards(self, tmp_path):
+        backend = backend_from_spec("disk", cache_dir=str(tmp_path),
+                                    shards=2)
+        assert isinstance(backend, ShardedBackend)
+        with pytest.raises(ValueError):
+            backend_from_spec("memory", shards=2)
+
+    def test_missing_key_raises(self, tmp_path):
+        backend = ShardedBackend.over_directory(str(tmp_path), 2)
+        with pytest.raises(KeyError):
+            backend.load("absent")
+        assert "absent" not in backend
