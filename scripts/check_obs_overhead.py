@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""CI gate for :mod:`repro.obs`: tracing must be free when off and
+complete when on.
+
+Two checks:
+
+1. **Disabled overhead** — the same cold compile is benchmarked twice,
+   interleaved: once with tracing *disabled* (the shipped default:
+   every ``span()`` call returns :data:`~repro.obs.trace.NOOP_SPAN`
+   after one ContextVar read and a float compare) and once with the
+   instrumentation *stubbed out* (each instrumented module's ``_span``
+   replaced by a bare NOOP_SPAN thunk — the closest a Python build
+   gets to compiling the tracepoints away).  Min-of-N for both; the
+   disabled build must be within ``--tolerance`` (default 5 %) of the
+   stubbed one.
+2. **Traced completeness** — a 2-worker / 2-shard cluster serves one
+   traced batch; the assembled trace must contain the server's
+   ``service.batch`` span, at least one ``worker.chunk`` span *per
+   dispatched chunk* — every one a child of the batch span — and the
+   Chrome-trace export must round-trip through ``json.loads``.
+
+Exit 0 when both hold, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.trace import (NOOP_SPAN, configure,              # noqa: E402
+                             get_tracer)
+from repro.experiments.workload import (WorkloadSpec,           # noqa: E402
+                                        generate_machine)
+
+#: Every module whose hot path goes through a ``_span`` binding.
+_INSTRUMENTED = (
+    "repro.pipeline",
+    "repro.engine.cache",
+    "repro.engine.core",
+    "repro.compiler.driver",
+    "repro.compiler.units",
+    "repro.store.artifact",
+    "repro.vm.image",
+    "repro.fleet.harness",
+)
+
+
+def _noop_span(name, parent=None):
+    return NOOP_SPAN
+
+
+class _StubbedSpans:
+    """Swap each instrumented module's ``_span`` for a bare thunk."""
+
+    def __enter__(self):
+        import importlib
+        self._saved = []
+        for name in _INSTRUMENTED:
+            module = importlib.import_module(name)
+            self._saved.append((module, module._span))
+            module._span = _noop_span
+        return self
+
+    def __exit__(self, *exc_info):
+        for module, original in self._saved:
+            module._span = original
+
+
+def _compile_once(machine) -> None:
+    from repro.pipeline import compile_machine
+    from repro.vm.image import assemble
+    result = compile_machine(machine, pattern="state-pattern")
+    assemble(result.module)
+
+
+def check_disabled_overhead(trials: int, tolerance: float) -> list:
+    """Interleaved min-of-N: disabled tracing vs stubbed-out spans."""
+    configure(sample_ratio=0.0)
+    machine = generate_machine(WorkloadSpec(n_live=8,
+                                            events_per_state=2, seed=5))
+    _compile_once(machine)                 # warm imports and pools
+    disabled = stubbed = float("inf")
+    for _ in range(max(1, trials)):
+        t0 = time.perf_counter()
+        _compile_once(machine)
+        disabled = min(disabled, time.perf_counter() - t0)
+        with _StubbedSpans():
+            t0 = time.perf_counter()
+            _compile_once(machine)
+            stubbed = min(stubbed, time.perf_counter() - t0)
+    ratio = disabled / stubbed if stubbed > 0 else float("inf")
+    print(f"disabled {1e3 * disabled:.2f} ms vs stubbed "
+          f"{1e3 * stubbed:.2f} ms -> ratio {ratio:.3f} "
+          f"(allowed {1.0 + tolerance:.2f})")
+    if ratio > 1.0 + tolerance:
+        return [f"disabled tracing is {ratio:.3f}x the untraced "
+                f"baseline (> {1.0 + tolerance:.2f}x)"]
+    return []
+
+
+def check_traced_cluster() -> list:
+    """One traced batch over a real 2-worker cluster: every chunk must
+    contribute spans, all parented under the server's batch span."""
+    from repro.service.protocol import compile_params
+    from repro.service.server import ServiceThread
+
+    problems = []
+    configure(sample_ratio=1.0, process="gate-client")
+    get_tracer().clear()
+    machines = [generate_machine(WorkloadSpec(
+        n_live=4, events_per_state=2, seed=seed)) for seed in range(6)]
+    params_list = [compile_params(m) for m in machines]
+    n_unique = len({json.dumps(p, sort_keys=True) for p in params_list})
+    with tempfile.TemporaryDirectory() as tmp:
+        with ServiceThread(workers=2, shards=2, cache_dir=tmp) as handle:
+            handle.wait_workers_ready()
+            with handle.client() as client:
+                results = client.submit_batch(params_list)
+        if len(results) != len(machines):
+            problems.append(f"batch returned {len(results)} of "
+                            f"{len(machines)} results")
+        spans = get_tracer().drain()
+        configure(sample_ratio=0.0)
+        by_id = {s["span_id"]: s for s in spans}
+        batch = [s for s in spans if s["name"] == "service.batch"]
+        chunks = [s for s in spans if s["name"] == "worker.chunk"]
+        jobs = [s for s in spans if s["name"] == "worker.compile"]
+        if len(batch) != 1:
+            problems.append(f"expected 1 service.batch span, "
+                            f"got {len(batch)}")
+        if not chunks:
+            problems.append("no worker.chunk spans came back")
+        for chunk in chunks:
+            parent = by_id.get(chunk.get("parent_id"))
+            if parent is None or parent["name"] != "service.batch":
+                problems.append(f"worker.chunk {chunk['span_id']} is "
+                                "not a child of the batch span")
+        # One worker.compile span per unique job, each inside a chunk.
+        if len(jobs) < n_unique:
+            problems.append(f"{len(jobs)} worker.compile spans for "
+                            f"{n_unique} unique jobs")
+        if len(set(s["span_id"] for s in spans)) != len(spans):
+            problems.append("span ids are not unique")
+        # The export must hold every span and round-trip as JSON.
+        from repro.obs.export import write_chrome_trace
+        out = pathlib.Path(tmp) / "trace.json"
+        write_chrome_trace(str(out), spans)
+        document = json.loads(out.read_text(encoding="utf-8"))
+        events = [e for e in document["traceEvents"]
+                  if e.get("ph") == "X"]
+        if len(events) != len(spans):
+            problems.append(f"export holds {len(events)} duration "
+                            f"events for {len(spans)} spans")
+        if document["otherData"]["span_count"] != len(spans):
+            problems.append("otherData.span_count disagrees with the "
+                            "span buffer")
+        print(f"traced cluster batch: {len(spans)} spans, "
+              f"{len(chunks)} chunk span(s), {len(jobs)} compile "
+              f"span(s), export round-trips")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="gate repro.obs: near-zero disabled overhead, "
+                    "complete traces when enabled")
+    parser.add_argument("--trials", type=int, default=5,
+                        help="interleaved bench trials (default "
+                             "%(default)s; min-of-N)")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed disabled/untraced overhead "
+                             "(default %(default)s = 5%%)")
+    args = parser.parse_args(argv)
+
+    problems = check_disabled_overhead(args.trials, args.tolerance)
+    problems += check_traced_cluster()
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("obs overhead gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

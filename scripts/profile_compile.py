@@ -1,21 +1,24 @@
 #!/usr/bin/env python3
 """Break a cold compile down by pipeline stage.
 
-Runs the exact monolithic pipeline (the same helpers
-``compile_program`` is built from) with a timer around every stage —
-frontend (generate, lower), middle end (inline, each SSA pass, SSA
-construction/destruction), backend (isel, fuse, regalloc, peephole)
-and assembly — and prints a table of milliseconds and shares.  This is
-the measurement behind the delta-compile design: the middle end and
-backend dominate a cold compile, which is exactly the work the
-per-unit cache (:mod:`repro.compiler.units`) skips for unchanged
-units.
+Runs the real monolithic pipeline (``repro.pipeline.compile_machine``
+plus assembly) under a private 100 %-sampled :mod:`repro.obs` tracer
+and aggregates the compiler's own stage/pass spans — frontend
+(generate, lower), middle end (inline, each SSA pass, SSA
+construction/destruction), backend (isel, fuse, regalloc, peephole,
+prologue) and assembly — into a table of milliseconds and shares.
+There is no second timing system here: the numbers are exactly the
+spans every traced run exports, so this is the measurement behind the
+delta-compile design (the middle end and backend dominate a cold
+compile, which is the work the per-unit cache
+(:mod:`repro.compiler.units`) skips for unchanged units).
 
 Usage::
 
     python scripts/profile_compile.py [--pattern state-pattern]
         [--level -Os] [--target rt32] [--n-live 20]
         [--events-per-state 3] [--seed 3] [--repeat 3]
+        [--trace-out TRACE.json]
 """
 
 from __future__ import annotations
@@ -23,28 +26,17 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.codegen import generator_by_name                     # noqa: E402
-from repro.compiler.driver import (SSA_PASS_SEQUENCE,           # noqa: E402
-                                   OptLevel, _add_prologue_epilogue,
-                                   _finish_iteration, inline_policy_for,
-                                   make_rodata_sink, make_switch_lowering,
-                                   middle_end_iterations)
-from repro.compiler.asm import AsmModule                        # noqa: E402
-from repro.compiler.frontend.lower import lower_unit            # noqa: E402
-from repro.compiler.gimple.ssa import to_ssa, verify_ssa        # noqa: E402
-from repro.compiler.passes.inline import run_inline             # noqa: E402
-from repro.compiler.rtl.isel import select_function             # noqa: E402
-from repro.compiler.rtl.peephole import (fuse_compare_branches,  # noqa: E402
-                                         run_peephole)
-from repro.compiler.rtl.regalloc import allocate_registers      # noqa: E402
+from repro.compiler import OptLevel                             # noqa: E402
 from repro.compiler.target import resolve_target                # noqa: E402
 from repro.experiments.workload import (WorkloadSpec,           # noqa: E402
                                         generate_machine)
+from repro.obs.export import write_chrome_trace                 # noqa: E402
+from repro.obs.trace import Tracer, set_tracer, span            # noqa: E402
+from repro.pipeline import compile_machine                      # noqa: E402
 from repro.vm.image import assemble                             # noqa: E402
 
 #: Table rows in pipeline order (stage -> which phase it belongs to).
@@ -58,64 +50,50 @@ STAGE_PHASES = [
     ("assemble", "assemble"),
 ]
 
+#: Span name -> table stage.  The compiler emits ``stage.<name>`` for
+#: structural stages and ``pass.<name>`` per SSA pass.
+SPAN_STAGES = {
+    **{f"stage.{name}": name for name, _ in STAGE_PHASES},
+    **{f"pass.{name}": name for name, phase in STAGE_PHASES
+       if phase == "middle"},
+}
 
-def profile_once(machine, pattern: str, level: OptLevel, target) -> dict:
-    """One timed cold compile; returns stage -> seconds."""
+
+def profile_once(machine, pattern: str, level: OptLevel, target) -> list:
+    """One traced cold compile; returns the finished span dicts."""
+    tracer = Tracer(sample_ratio=1.0, max_spans=1_000_000,
+                    process="profile")
+    previous = set_tracer(tracer)
+    try:
+        with span("profile.compile") as root:
+            root.set(machine=machine.name, pattern=pattern,
+                     level=level.value, target=target.name)
+            result = compile_machine(machine, pattern=pattern,
+                                     level=level, target=target)
+            assemble(result.module)
+        return tracer.drain()
+    finally:
+        set_tracer(previous)
+
+
+def aggregate(spans) -> dict:
+    """Sum span durations into the stage table (seconds)."""
     seconds = {name: 0.0 for name, _ in STAGE_PHASES}
-
-    def timed(stage, thunk):
-        t0 = time.perf_counter()
-        result = thunk()
-        seconds[stage] += time.perf_counter() - t0
-        return result
-
-    generator = generator_by_name(pattern)
-    unit = timed("generate", lambda: generator.generate(machine))
-    program = timed("lower", lambda: lower_unit(unit))
-
-    if level in (OptLevel.O2, OptLevel.OS):
-        timed("inline",
-              lambda: run_inline(program, inline_policy_for(level)))
-    if level.optimizes:
-        for _ in range(middle_end_iterations(level)):
-            def build():
-                for fn in program.functions.values():
-                    to_ssa(fn)
-                    verify_ssa(fn)
-            timed("ssa-build", build)
-            for name, run_pass in SSA_PASS_SEQUENCE:
-                timed(name, lambda run_pass=run_pass: [
-                    run_pass(fn) for fn in program.functions.values()])
-            timed("ssa-out", lambda: [
-                _finish_iteration(fn)
-                for fn in program.functions.values()])
-
-    module = AsmModule(program.name, target=target)
-    lowering = make_switch_lowering(level, target)
-    jump_tables = []
-    sink = make_rodata_sink(jump_tables, target)
-    for fn in program.functions.values():
-        rtl = timed("isel", lambda fn=fn: select_function(
-            fn, lowering, sink, target=target))
-        if level.optimizes:
-            timed("fuse", lambda rtl=rtl: fuse_compare_branches(
-                rtl, target=target))
-        timed("regalloc", lambda rtl=rtl: allocate_registers(
-            rtl, target=target))
-        if level.optimizes:
-            timed("peephole", lambda rtl=rtl: run_peephole(rtl))
-        timed("prologue", lambda rtl=rtl: _add_prologue_epilogue(
-            rtl, target))
-        module.functions.append(rtl)
-    module.data_objects.extend(program.data.values())
-    module.data_objects.extend(jump_tables)
-    timed("assemble", lambda: assemble(module, target=target))
+    for rendered in spans:
+        stage = SPAN_STAGES.get(rendered.get("name", ""))
+        if stage is not None:
+            seconds[stage] += rendered.get("dur", 0.0)
     return seconds
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="per-stage cold-compile timing table")
+        description="per-stage cold-compile timing table (from obs "
+                    "spans)",
+        epilog="example: python scripts/profile_compile.py "
+               "--repeat 5 --trace-out compile-trace.json  "
+               "# table on stdout + a Perfetto-loadable trace of the "
+               "last run")
     parser.add_argument("--pattern", default="state-pattern")
     parser.add_argument("--level", default="-Os",
                         choices=[l.value for l in OptLevel])
@@ -124,6 +102,10 @@ def main(argv=None) -> int:
     parser.add_argument("--events-per-state", type=int, default=3)
     parser.add_argument("--seed", type=int, default=3)
     parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--trace-out", default=None,
+                        metavar="TRACE.json",
+                        help="also write the last run's spans as "
+                             "Chrome trace JSON")
     args = parser.parse_args(argv)
 
     level = OptLevel(args.level)
@@ -133,9 +115,10 @@ def main(argv=None) -> int:
         seed=args.seed))
 
     totals = {name: 0.0 for name, _ in STAGE_PHASES}
+    last_spans = []
     for _ in range(max(1, args.repeat)):
-        for stage, secs in profile_once(machine, args.pattern, level,
-                                        target).items():
+        last_spans = profile_once(machine, args.pattern, level, target)
+        for stage, secs in aggregate(last_spans).items():
             totals[stage] += secs
     for stage in totals:
         totals[stage] /= max(1, args.repeat)
@@ -156,6 +139,13 @@ def main(argv=None) -> int:
     for phase, secs in phase_totals.items():
         print(f"{phase:<23} {1e3 * secs:>9.2f} {secs / grand:>6.1%}")
     print(f"{'total':<23} {1e3 * grand:>9.2f} {'100.0%':>7}")
+    if args.trace_out:
+        count = write_chrome_trace(
+            args.trace_out, last_spans,
+            metadata={"mode": "profile", "machine": machine.name,
+                      "pattern": args.pattern, "level": level.value})
+        print(f"wrote {count} span(s) to {args.trace_out}",
+              file=sys.stderr)
     return 0
 
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 from ..cpp import ast as cpp
+from ..obs.trace import span as _span
 from .asm import AsmModule
 from .target.description import TargetDescription
 from .target.registry import resolve_target
@@ -99,6 +100,10 @@ SSA_PASS_SEQUENCE = (("ccp", run_ccp), ("cse", run_cse),
                      ("copyprop", run_copyprop), ("dce", run_dce),
                      ("cfg", run_simplify_cfg))
 
+#: Span names per SSA pass, precomputed so the traced path never
+#: builds f-strings inside the pass loop.
+_PASS_SPAN_NAMES = {name: f"pass.{name}" for name, _ in SSA_PASS_SEQUENCE}
+
 
 def inline_policy_for(level: OptLevel) -> InlinePolicy:
     """The inlining thresholds of one optimization level."""
@@ -131,12 +136,15 @@ def optimize_function(fn, level: OptLevel, stats: Dict[str, int]) -> None:
     """
     for i in range(middle_end_iterations(level)):
         suffix = "" if i == 0 else f"#{i + 1}"
-        to_ssa(fn)
-        verify_ssa(fn)
+        with _span("stage.ssa-build"):
+            to_ssa(fn)
+            verify_ssa(fn)
         for name, run_pass in SSA_PASS_SEQUENCE:
             key = f"{name}{suffix}"
-            stats[key] = stats.get(key, 0) + run_pass(fn)
-        _finish_iteration(fn)
+            with _span(_PASS_SPAN_NAMES[name]):
+                stats[key] = stats.get(key, 0) + run_pass(fn)
+        with _span("stage.ssa-out"):
+            _finish_iteration(fn)
 
 
 def _middle_end(program: Program, level: OptLevel,
@@ -154,21 +162,25 @@ def _middle_end(program: Program, level: OptLevel,
     snapshot("lower")
 
     if level in (OptLevel.O2, OptLevel.OS):
-        stats["inline"] = run_inline(program, inline_policy_for(level))
+        with _span("stage.inline"):
+            stats["inline"] = run_inline(program, inline_policy_for(level))
         snapshot("einline")
 
     for i in range(middle_end_iterations(level)):
         suffix = "" if i == 0 else f"#{i + 1}"
-        for fn in program.functions.values():
-            to_ssa(fn)
-            verify_ssa(fn)
+        with _span("stage.ssa-build"):
+            for fn in program.functions.values():
+                to_ssa(fn)
+                verify_ssa(fn)
         snapshot(f"ssa{suffix}")
         for name, run_pass in SSA_PASS_SEQUENCE:
-            stats[f"{name}{suffix}"] = sum(
-                run_pass(fn) for fn in program.functions.values())
+            with _span(_PASS_SPAN_NAMES[name]):
+                stats[f"{name}{suffix}"] = sum(
+                    run_pass(fn) for fn in program.functions.values())
             snapshot(f"{name}{suffix}")
-        for fn in program.functions.values():
-            _finish_iteration(fn)
+        with _span("stage.ssa-out"):
+            for fn in program.functions.values():
+                _finish_iteration(fn)
         snapshot(f"optimized{suffix}")
 
 
@@ -198,14 +210,19 @@ def backend_function(fn, level: OptLevel, lowering: SwitchLowering,
     prologue/epilogue.  Returns the finished RTL function; jump tables
     go to *rodata_sink* (named ``<function>.jtN``, so per-function
     compilation reproduces whole-program names exactly)."""
-    rtl = select_function(fn, lowering, rodata_sink, target=target)
+    with _span("stage.isel"):
+        rtl = select_function(fn, lowering, rodata_sink, target=target)
     if level.optimizes:
-        stats["fuse"] = stats.get("fuse", 0) + \
-            fuse_compare_branches(rtl, target=target)
-    allocate_registers(rtl, target=target)
+        with _span("stage.fuse"):
+            stats["fuse"] = stats.get("fuse", 0) + \
+                fuse_compare_branches(rtl, target=target)
+    with _span("stage.regalloc"):
+        allocate_registers(rtl, target=target)
     if level.optimizes:
-        stats["peephole"] = stats.get("peephole", 0) + run_peephole(rtl)
-    _add_prologue_epilogue(rtl, target)
+        with _span("stage.peephole"):
+            stats["peephole"] = stats.get("peephole", 0) + run_peephole(rtl)
+    with _span("stage.prologue"):
+        _add_prologue_epilogue(rtl, target)
     return rtl
 
 
@@ -269,6 +286,7 @@ def compile_unit(unit: cpp.TranslationUnit, level: OptLevel = OptLevel.OS,
                  ) -> CompileResult:
     """Compile a C++ translation unit down to assembly for *target*
     (default target when none is given)."""
-    program = lower_unit(unit)
+    with _span("stage.lower"):
+        program = lower_unit(unit)
     return compile_program(program, level=level, capture_dumps=capture_dumps,
                            target=target)

@@ -51,6 +51,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from ..obs.trace import span as _span
 from ..schema import schema_stamp
 from .asm import AsmModule
 from .driver import (CompileResult, OptLevel, backend_function,
@@ -240,29 +241,34 @@ def compile_one_unit(program: Program, unit: CompilationUnit,
     the inline phase only the unit's own function is optimized — the
     closure copies exist solely to be cloned *from*.
     """
-    tgt = resolve_target(target)
-    mini = Program(program.name)
-    mini.externs = list(program.externs)
-    for name in unit.closure:
-        mini.add_function(copy.deepcopy(program.functions[name]))
-    fn = mini.functions[unit.name]
+    sp = _span("unit.compile")
+    if sp.recording:
+        sp.set(unit=unit.name, closure=len(unit.closure))
+    with sp:
+        tgt = resolve_target(target)
+        mini = Program(program.name)
+        mini.externs = list(program.externs)
+        for name in unit.closure:
+            mini.add_function(copy.deepcopy(program.functions[name]))
+        fn = mini.functions[unit.name]
 
-    stats: Dict[str, int] = {}
-    if level.optimizes:
-        if level in (OptLevel.O2, OptLevel.OS):
-            per_caller: Dict[str, int] = {}
-            run_inline(mini, inline_policy_for(level),
-                       per_caller=per_caller)
-            stats["inline"] = per_caller.get(unit.name, 0)
-        optimize_function(fn, level, stats)
+        stats: Dict[str, int] = {}
+        if level.optimizes:
+            if level in (OptLevel.O2, OptLevel.OS):
+                per_caller: Dict[str, int] = {}
+                with _span("stage.inline"):
+                    run_inline(mini, inline_policy_for(level),
+                               per_caller=per_caller)
+                stats["inline"] = per_caller.get(unit.name, 0)
+            optimize_function(fn, level, stats)
 
-    jump_tables: List[DataObject] = []
-    rodata_sink = make_rodata_sink(jump_tables, tgt)
-    lowering = make_switch_lowering(level, tgt)
-    rtl = backend_function(fn, level, lowering, rodata_sink, tgt, stats)
-    return UnitArtifact(name=unit.name, fingerprint=unit.fingerprint,
-                        rtl=rtl, jump_tables=tuple(jump_tables),
-                        optimized_fn=fn, pass_stats=stats)
+        jump_tables: List[DataObject] = []
+        rodata_sink = make_rodata_sink(jump_tables, tgt)
+        lowering = make_switch_lowering(level, tgt)
+        rtl = backend_function(fn, level, lowering, rodata_sink, tgt, stats)
+        return UnitArtifact(name=unit.name, fingerprint=unit.fingerprint,
+                            rtl=rtl, jump_tables=tuple(jump_tables),
+                            optimized_fn=fn, pass_stats=stats)
 
 
 # ---------------------------------------------------------------------------
@@ -345,6 +351,17 @@ def link_units(program: Program, artifacts: Dict[str, UnitArtifact],
     jump tables follow in function order, exactly where the monolithic
     backend loop appends them.
     """
+    sp = _span("unit.link")
+    if sp.recording:
+        sp.set(units=len(artifacts))
+    with sp:
+        return _link_units(program, artifacts, level, target)
+
+
+def _link_units(program: Program, artifacts: Dict[str, UnitArtifact],
+                level: OptLevel,
+                target: Union[TargetDescription, str, None] = None,
+                ) -> CompileResult:
     tgt = resolve_target(target)
     missing = [name for name in program.functions if name not in artifacts]
     if missing:

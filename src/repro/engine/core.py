@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
 
 from ..compiler import CompileResult, DeltaStats, OptLevel
 from ..compiler.target import TargetDescription, resolve_target
+from ..obs.trace import span as _span
 from ..optim import OptimizationReport, check_equivalence, optimize
 from ..optim.equivalence import EquivalenceReport
 from ..semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
@@ -126,14 +127,15 @@ class ExperimentEngine:
             elif cache_dir is not None:
                 raise ValueError(
                     "cache_dir= only applies to backend spec strings")
-            self.cache = CompileCache(backend)
+            self.cache = CompileCache(backend, name="module")
         #: Route whole-module cache misses through the per-unit delta
         #: path (:func:`repro.pipeline.compile_machine_delta`)?  The
         #: unit tier shares the module cache's backend — unit
         #: fingerprints carry their own kind tag, so the key spaces
         #: never collide, and a persistent backend persists units too.
         self.delta = bool(delta)
-        self.units = CompileCache(getattr(self.cache, "backend", None))
+        self.units = CompileCache(getattr(self.cache, "backend", None),
+                                  name="unit")
         self.delta_stats = DeltaStats()
 
     # -- cached primitives --------------------------------------------------
@@ -168,7 +170,11 @@ class ExperimentEngine:
                                     capture_dumps=capture_dumps,
                                     target=target)
 
-        return self.cache.get_or_compute(key, compute)
+        sp = _span("engine.compile")
+        if sp.recording:
+            sp.set(machine=machine.name, pattern=pattern, level=level.value)
+        with sp:
+            return self.cache.get_or_compute(key, compute)
 
     def optimize_model(self, machine: StateMachine,
                        selection: Optional[Sequence[str]] = None,

@@ -18,6 +18,10 @@ sharing the directory — is served from disk instead of recompiling.
 Output is byte-identical between cold and warm runs;
 ``scripts/check_warm_cache.py`` asserts exactly that plus a >=90 %
 disk-hit rate.
+
+``--trace-out TRACE.json`` samples every compile and writes the run's
+spans (engine, cache, per-stage compiler timings) as Chrome trace
+JSON — load it in Perfetto or ``python -m repro.obs view``.
 """
 
 from __future__ import annotations
@@ -60,6 +64,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="append the fleet throughput table (wall-clock, "
              "non-deterministic; never part of the default output, "
              "which CI diffs byte-for-byte across --jobs values)")
+    parser.add_argument(
+        "--trace-out", default=None, metavar="TRACE.json",
+        help="sample every compile and write the run's spans as "
+             "Chrome trace JSON (Perfetto / python -m repro.obs view)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
@@ -69,22 +77,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     except UnknownTargetError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.trace_out:
+        from ..obs.trace import configure
+        configure(sample_ratio=1.0, process="experiments")
 
     engine = ExperimentEngine(jobs=args.jobs, cache_dir=args.cache_dir)
-    for title, module in (("FIGURE 1", figure1), ("TABLE 1", table1),
-                          ("TABLE 2", table2), ("SWEEPS", sweeps),
-                          ("DYNAMICS", dynamics)):
-        print("#" * 72)
-        print(f"# {title}  (target: {target.name})")
-        print("#" * 72)
-        print(module.main(target=target, engine=engine))
-        print()
-    if args.throughput:
-        print("#" * 72)
-        print(f"# FLEET THROUGHPUT  (target: {target.name})")
-        print("#" * 72)
-        print(dynamics.throughput_main(target=target, engine=engine))
-        print()
+    try:
+        for title, module in (("FIGURE 1", figure1), ("TABLE 1", table1),
+                              ("TABLE 2", table2), ("SWEEPS", sweeps),
+                              ("DYNAMICS", dynamics)):
+            print("#" * 72)
+            print(f"# {title}  (target: {target.name})")
+            print("#" * 72)
+            print(module.main(target=target, engine=engine))
+            print()
+        if args.throughput:
+            print("#" * 72)
+            print(f"# FLEET THROUGHPUT  (target: {target.name})")
+            print("#" * 72)
+            print(dynamics.throughput_main(target=target, engine=engine))
+            print()
+    finally:
+        if args.trace_out:
+            from ..obs.export import write_chrome_trace
+            from ..obs.trace import get_tracer
+            count = write_chrome_trace(
+                args.trace_out, get_tracer().drain(),
+                metadata={"mode": "experiments", "target": target.name})
+            print(f"wrote {count} span(s) to {args.trace_out}",
+                  file=sys.stderr)
     if args.cache_stats:
         print(engine.describe(), file=sys.stderr)
     return 0

@@ -28,12 +28,19 @@ import time
 from typing import (Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple, Union)
 
+from ..obs.metrics import REGISTRY
+from ..obs.trace import span as _span
 from ..semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
 from ..uml.statemachine import StateMachine
 from .engine import Fleet
 from .table import TableProgram, compile_table
 
 __all__ = ["FleetHarness", "ThroughputReport", "ShardReport"]
+
+_FLEET_BATCHES = REGISTRY.counter("fleet_batches_total",
+                                  "batch flushes by shard")
+_FLEET_LANE_EVENTS = REGISTRY.counter("fleet_lane_events_total",
+                                      "lane-events delivered by runs")
 
 MachineSpec = Union[StateMachine, TableProgram,
                     Tuple[Union[StateMachine, TableProgram], int]]
@@ -110,9 +117,11 @@ class ThroughputReport:
 
 
 class _Shard:
-    def __init__(self, fleets: List[Fleet], batch_size: int) -> None:
+    def __init__(self, fleets: List[Fleet], batch_size: int,
+                 index: int = 0) -> None:
         self.fleets = fleets
         self.batch_size = batch_size
+        self.index = index
         self.queue: List[str] = []
         self.events_routed = 0
         self.latencies_s: List[float] = []
@@ -130,12 +139,17 @@ class _Shard:
         if not self.queue:
             return
         batch, self.queue = self.queue, []
-        began = time.perf_counter()
-        for name in batch:
-            for fleet in self.fleets:
-                fleet.dispatch_all(name)
-        self.latencies_s.append(time.perf_counter() - began)
+        sp = _span("fleet.batch")
+        if sp.recording:
+            sp.set(shard=self.index, events=len(batch))
+        with sp:
+            began = time.perf_counter()
+            for name in batch:
+                for fleet in self.fleets:
+                    fleet.dispatch_all(name)
+            self.latencies_s.append(time.perf_counter() - began)
         self.events_routed += len(batch)
+        _FLEET_BATCHES.inc(shard=self.index)
 
 
 class FleetHarness:
@@ -199,7 +213,8 @@ class FleetHarness:
                     fleets.append(Fleet(program, width,
                                         externals=externals,
                                         step_budget=step_budget))
-            self._shards.append(_Shard(fleets, batch_size))
+            self._shards.append(_Shard(fleets, batch_size,
+                                       index=shard_index))
         self.n_lanes = sum(s.lanes for s in self._shards)
         self._started = False
         self._next_shard = 0
@@ -225,12 +240,17 @@ class FleetHarness:
         """Route a whole stream, flush every queue, report throughput."""
         if not self._started:
             self.start()
-        began = time.perf_counter()
-        for event in events:
-            self.route(event)
-        for shard in self._shards:
-            shard.flush()
-        elapsed = time.perf_counter() - began
+        sp = _span("fleet.run")
+        if sp.recording:
+            sp.set(lanes=self.n_lanes, shards=self.n_shards,
+                   routing=self.routing, events=len(events))
+        with sp:
+            began = time.perf_counter()
+            for event in events:
+                self.route(event)
+            for shard in self._shards:
+                shard.flush()
+            elapsed = time.perf_counter() - began
         reports = []
         lane_events = fired = routed = 0
         for shard in self._shards:
@@ -245,6 +265,8 @@ class FleetHarness:
             lane_events += shard_lane_events
             fired += sum(s.fired for s in stats)
             routed += shard.events_routed
+        if lane_events:
+            _FLEET_LANE_EVENTS.inc(lane_events)
         return ThroughputReport(self.n_lanes, self.n_shards, self.routing,
                                 routed, lane_events, fired, elapsed,
                                 reports)

@@ -108,6 +108,9 @@ def cmd_run(args) -> int:
     if error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.trace_out:
+        from ..obs.trace import configure
+        configure(sample_ratio=1.0, process="fuzz")
     engine = _engine(args)
     corpus = Corpus(args.corpus_dir)
     config = _oracle_config(args)
@@ -121,7 +124,17 @@ def cmd_run(args) -> int:
                         profiles=DEFAULT_PROFILES, corpus=corpus,
                         shrink_limit=args.max_shrink,
                         on_progress=progress)
-    report = runner.run(args.cases, seed=args.seed)
+    try:
+        report = runner.run(args.cases, seed=args.seed)
+    finally:
+        if args.trace_out:
+            from ..obs.export import write_chrome_trace
+            from ..obs.trace import get_tracer
+            count = write_chrome_trace(
+                args.trace_out, get_tracer().drain(),
+                metadata={"mode": "fuzz", "cases": args.cases})
+            print(f"wrote {count} span(s) to {args.trace_out}",
+                  file=sys.stderr)
     print(report.summary())
     if args.cache_stats:
         print(engine.describe(), file=sys.stderr)
@@ -218,6 +231,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_run.add_argument("--progress-every", type=int, default=50,
                        metavar="N",
                        help="progress line to stderr every N cases")
+    p_run.add_argument("--trace-out", default=None,
+                       metavar="TRACE.json",
+                       help="sample every compile and write the run's "
+                            "spans as Chrome trace JSON")
     p_run.add_argument("--cache-stats", action="store_true",
                        help="print engine cache statistics to stderr")
     _add_common(p_run)

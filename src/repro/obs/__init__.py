@@ -1,0 +1,43 @@
+""":mod:`repro.obs` — zero-dependency tracing + metrics for every layer.
+
+Two small, orthogonal primitives:
+
+* :mod:`repro.obs.trace` — span-based structured tracing.  A
+  :class:`~repro.obs.trace.Tracer` hands out nested
+  :class:`~repro.obs.trace.Span` objects (monotonic durations,
+  wall-clock anchors, attributes) whose parentage propagates through
+  an ambient :mod:`contextvars` context *and* across process/wire
+  boundaries via explicit ``(trace_id, parent_id)`` contexts — the
+  compile service ships worker-process spans back piggybacked on chunk
+  replies and re-parents them under the server's batch span, so one
+  client request yields **one connected trace** across client →
+  server → worker → per-unit compile.  Off by default with a no-op
+  span singleton (near-zero overhead, gated in CI by
+  ``scripts/check_obs_overhead.py``); enable with ``REPRO_TRACE=1``
+  (or any sample ratio in ``(0, 1]``) or
+  :func:`~repro.obs.trace.configure`.
+* :mod:`repro.obs.metrics` — a process-wide registry of labeled
+  counters, gauges and log-bucketed histograms.  The engine's cache
+  counters, the VM's cycle counters, the fleet harness and the
+  service metrics endpoint all publish here; the service ``metrics``
+  document (schema v2) is a view over it.
+
+:mod:`repro.obs.export` renders collected spans as Chrome
+``trace_event`` JSON (loadable in Perfetto / ``about:tracing``) or as
+a human stage-breakdown tree; ``python -m repro.obs view|export`` is
+the CLI, and the experiments/service/fuzz CLIs grow ``--trace-out``
+flags on top of it.
+"""
+
+from .metrics import (REGISTRY, Counter, Gauge, Histogram,
+                      MetricsRegistry)
+from .trace import (NOOP_SPAN, Span, SpanContext, Tracer, attach,
+                    configure, current_context, get_tracer, set_tracer,
+                    span, tracer_from_env)
+
+__all__ = [
+    "REGISTRY", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "NOOP_SPAN", "Span", "SpanContext", "Tracer", "attach", "configure",
+    "current_context", "get_tracer", "set_tracer", "span",
+    "tracer_from_env",
+]

@@ -1,0 +1,118 @@
+"""``python -m repro.obs`` — inspect and produce trace files.
+
+Subcommands::
+
+    view TRACE.json          render a Chrome-trace file written by this
+                             repo as a stage-breakdown tree
+    export --out TRACE.json  trace a small cold compile end-to-end and
+                             write a Perfetto-loadable trace_event file
+
+``export`` is the one-command demo of the whole subsystem: it enables
+a full-sampling tracer, compiles a generated workload machine through
+the real pipeline (every stage/pass span the compiler emits), and
+writes the result for https://ui.perfetto.dev or ``about:tracing``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .export import (SchemaMismatch, load_chrome_trace, stage_tree,
+                     write_chrome_trace)
+from .trace import Tracer, set_tracer
+
+
+def _span_from_event(event):
+    args = event.get("args", {})
+    return {
+        "name": event.get("name", "?"),
+        "trace_id": args.get("trace_id"),
+        "span_id": args.get("span_id"),
+        "parent_id": args.get("parent_id"),
+        "ts": event.get("ts", 0.0) / 1e6,
+        "dur": event.get("dur", 0.0) / 1e6,
+        "pid": event.get("pid", 0),
+        "tid": event.get("tid", 0),
+        "proc": "",
+        "attrs": {k: v for k, v in args.items()
+                  if k not in ("trace_id", "span_id", "parent_id")},
+    }
+
+
+def cmd_view(args) -> int:
+    try:
+        doc = load_chrome_trace(args.trace)
+    except SchemaMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    events = [e for e in doc.get("traceEvents", [])
+              if e.get("ph") == "X"]
+    spans = [_span_from_event(e) for e in events]
+    # Re-attach the process names recorded in metadata events.
+    names = {e.get("pid"): e.get("args", {}).get("name", "")
+             for e in doc.get("traceEvents", [])
+             if e.get("ph") == "M" and e.get("name") == "process_name"}
+    for s in spans:
+        s["proc"] = names.get(s["pid"], "")
+    print(stage_tree(spans))
+    print(f"\n{len(spans)} span(s); otherData="
+          f"{json.dumps(doc.get('otherData', {}), sort_keys=True)}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    from ..compiler import OptLevel
+    from ..experiments.workload import WorkloadSpec, generate_machine
+    from ..pipeline import compile_machine
+    from ..vm.image import assemble
+
+    tracer = Tracer(sample_ratio=1.0, process="export")
+    previous = set_tracer(tracer)
+    try:
+        machine = generate_machine(WorkloadSpec(
+            n_live=args.n_live, events_per_state=3, seed=args.seed))
+        with tracer.span("obs.export"):
+            result = compile_machine(machine, pattern=args.pattern,
+                                     level=OptLevel(args.level))
+            assemble(result.module)
+    finally:
+        set_tracer(previous)
+    spans = tracer.spans()
+    count = write_chrome_trace(args.out, spans,
+                               metadata={"machine": machine.name,
+                                         "pattern": args.pattern,
+                                         "level": args.level})
+    print(f"wrote {count} event(s) ({len(spans)} spans) to {args.out}")
+    print("open in https://ui.perfetto.dev or chrome://tracing, or run:"
+          f"\n    python -m repro.obs view {args.out}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="trace viewer/exporter for repro.obs")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_view = sub.add_parser("view", help="print a trace as a stage tree")
+    p_view.add_argument("trace", help="Chrome-trace JSON file")
+    p_view.set_defaults(fn=cmd_view)
+
+    p_export = sub.add_parser(
+        "export", help="trace a small compile and write Chrome JSON")
+    p_export.add_argument("--out", required=True,
+                          help="output trace_event JSON path")
+    p_export.add_argument("--pattern", default="state-pattern")
+    p_export.add_argument("--level", default="-Os")
+    p_export.add_argument("--n-live", type=int, default=8)
+    p_export.add_argument("--seed", type=int, default=3)
+    p_export.set_defaults(fn=cmd_export)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

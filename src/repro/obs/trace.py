@@ -1,0 +1,384 @@
+"""Span-based structured tracing with cross-process context propagation.
+
+Design rules:
+
+* **Near-zero when off.**  The module-level tracer defaults to sample
+  ratio 0; :func:`span` then costs one function call, one
+  ``ContextVar.get`` and a float compare before returning the shared
+  :data:`NOOP_SPAN` singleton — no allocation, no timestamps.  Hot
+  paths that want attributes guard them with ``if sp.recording:`` so
+  the disabled mode never builds kwargs dicts either.
+  ``scripts/check_obs_overhead.py`` gates exactly this property.
+* **Parent-based sampling.**  Only *root* spans consult the sample
+  ratio.  A span opened under a recording parent — ambient or an
+  explicit remote :class:`SpanContext` — always records, so one
+  sampling decision at the trace root (typically the client) governs
+  the whole distributed trace: a worker process whose own tracer is
+  disabled still records spans for chunks that arrive with a trace
+  context, because the upstream opted in.
+* **Explicit beats ambient at boundaries.**  Within a process the
+  current span rides a :mod:`contextvars` context (asyncio-task- and
+  thread-safe; note executor threads and ``threading.Thread`` do *not*
+  inherit it — use :func:`attach`).  Across the service wire and chunk
+  submissions the parent travels as an explicit
+  ``{"trace_id": ..., "parent_id": ...}`` dict
+  (:meth:`SpanContext.to_wire` / :meth:`SpanContext.from_wire`).
+* **Finished spans are plain dicts.**  A span that ends is rendered
+  once (:meth:`Span.as_dict`: JSON-safe, schema below) and buffered on
+  its tracer; :meth:`Tracer.drain` removes-and-returns a trace's spans
+  so the server can piggyback worker spans on its reply and the client
+  can assemble the full trace.  The buffer is bounded
+  (``max_spans``); overflow increments ``dropped`` instead of growing.
+
+Span dict schema::
+
+    {"name": str, "trace_id": hex, "span_id": hex, "parent_id": hex|None,
+     "ts": float epoch-seconds, "dur": float seconds,
+     "pid": int, "tid": int, "proc": str, "attrs": {str: json-safe}}
+
+``ts`` is wall clock (so spans from different processes align on one
+timeline); ``dur`` is measured with ``perf_counter`` (monotonic).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["SpanContext", "Span", "NOOP_SPAN", "Tracer", "tracer_from_env",
+           "get_tracer", "set_tracer", "configure", "span", "attach",
+           "current_context"]
+
+#: Ambient current-span context (per asyncio task / per thread).
+_CURRENT: ContextVar[Optional["SpanContext"]] = ContextVar(
+    "repro_obs_current_span", default=None)
+
+#: Sentinel: "derive the parent from the ambient context".
+_AMBIENT = object()
+
+
+def _new_id() -> str:
+    return os.urandom(8).hex()
+
+
+class SpanContext:
+    """Immutable ``(trace_id, span_id)`` pair — the part of a span that
+    crosses thread, task, process and wire boundaries."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def to_wire(self) -> Dict[str, str]:
+        """The request/chunk field a child process re-parents under."""
+        return {"trace_id": self.trace_id, "parent_id": self.span_id}
+
+    @staticmethod
+    def from_wire(data: Any) -> Optional["SpanContext"]:
+        """Rebuild a context from a wire dict (None on absent/garbage —
+        an untraced or malformed request must never error here)."""
+        if not isinstance(data, dict):
+            return None
+        trace_id = data.get("trace_id")
+        parent_id = data.get("parent_id")
+        if isinstance(trace_id, str) and isinstance(parent_id, str) \
+                and trace_id and parent_id:
+            return SpanContext(trace_id, parent_id)
+        return None
+
+    def __repr__(self) -> str:
+        return f"SpanContext({self.trace_id!r}, {self.span_id!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SpanContext) and \
+            other.trace_id == self.trace_id and \
+            other.span_id == self.span_id
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id))
+
+
+class Span:
+    """One recording span.  Use as a context manager (installs itself
+    as the ambient parent) or call :meth:`end` explicitly (no ambient
+    propagation — right for request-scoped spans whose children get
+    the context passed explicitly)."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "ts", "_t0",
+                 "dur", "attrs", "_tracer", "_token")
+
+    recording = True
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: str,
+                 parent_id: Optional[str]) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_id()
+        self.parent_id = parent_id
+        self.ts = time.time()
+        self._t0 = time.perf_counter()
+        self.dur = 0.0
+        self.attrs: Optional[Dict[str, Any]] = None
+        self._tracer: Optional["Tracer"] = tracer
+        self._token = None
+
+    @property
+    def ctx(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes (last write per key wins)."""
+        if self.attrs is None:
+            self.attrs = attrs
+        else:
+            self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT.set(SpanContext(self.trace_id, self.span_id))
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.end()
+
+    def end(self) -> None:
+        """Finish the span (idempotent) and buffer it on its tracer."""
+        tracer = self._tracer
+        if tracer is None:
+            return
+        self._tracer = None
+        self.dur = time.perf_counter() - self._t0
+        if self._token is not None:
+            try:
+                _CURRENT.reset(self._token)
+            except ValueError:
+                pass        # ended in a different context; harmless
+            self._token = None
+        tracer._record(self)
+
+    def as_dict(self) -> Dict[str, Any]:
+        attrs: Dict[str, Any] = {}
+        if self.attrs:
+            for key, value in self.attrs.items():
+                if value is None or isinstance(value, (bool, int, float,
+                                                       str)):
+                    attrs[key] = value
+                else:
+                    attrs[key] = str(value)
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "ts": self.ts,
+            "dur": self.dur,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "proc": "",              # stamped by the recording tracer
+            "attrs": attrs,
+        }
+
+
+class _NoopSpan:
+    """The shared do-nothing span disabled tracers hand out."""
+
+    __slots__ = ()
+
+    recording = False
+    name = ""
+    trace_id = None
+    span_id = None
+    parent_id = None
+    ts = 0.0
+    dur = 0.0
+    attrs = None
+    ctx = None
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def end(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Hands out spans and buffers the finished ones (thread-safe).
+
+    ``sample_ratio`` governs *root* spans only (see the module
+    docstring); ``max_spans`` bounds the buffer; ``process`` labels
+    this process in exported traces.
+    """
+
+    def __init__(self, sample_ratio: float = 0.0,
+                 max_spans: int = 100_000,
+                 process: Optional[str] = None) -> None:
+        self.sample_ratio = float(sample_ratio)
+        self.max_spans = max(1, int(max_spans))
+        self.process = process or f"pid-{os.getpid()}"
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._spans: List[Dict[str, Any]] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.sample_ratio > 0.0
+
+    # -- span creation (hot path) -------------------------------------------
+
+    def span(self, name: str, parent: Any = _AMBIENT) -> Any:
+        """A new span under *parent* (default: the ambient span).
+
+        Returns :data:`NOOP_SPAN` for unsampled roots; children of a
+        recording parent — including an explicit remote
+        :class:`SpanContext` — always record.
+        """
+        if parent is _AMBIENT:
+            parent = _CURRENT.get()
+        if parent is None:
+            ratio = self.sample_ratio
+            if ratio <= 0.0 or (ratio < 1.0 and random.random() >= ratio):
+                return NOOP_SPAN
+            return Span(self, name, _new_id(), None)
+        if isinstance(parent, SpanContext):
+            return Span(self, name, parent.trace_id, parent.span_id)
+        if not parent.recording:
+            return NOOP_SPAN
+        return Span(self, name, parent.trace_id, parent.span_id)
+
+    # -- buffer -------------------------------------------------------------
+
+    def _record(self, span: Span) -> None:
+        rendered = span.as_dict()
+        rendered["proc"] = self.process
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped += 1
+                return
+            self._spans.append(rendered)
+
+    def ingest(self, span_dicts: Iterable[Dict[str, Any]]) -> int:
+        """Adopt finished spans from another process (chunk replies,
+        response envelopes); returns how many were kept."""
+        kept = 0
+        with self._lock:
+            for rendered in span_dicts or ():
+                if not isinstance(rendered, dict):
+                    continue
+                if len(self._spans) >= self.max_spans:
+                    self.dropped += 1
+                    continue
+                self._spans.append(rendered)
+                kept += 1
+        return kept
+
+    def drain(self, trace_id: Optional[str] = None
+              ) -> List[Dict[str, Any]]:
+        """Remove-and-return buffered spans (all, or one trace's)."""
+        with self._lock:
+            if trace_id is None:
+                out, self._spans = self._spans, []
+                return out
+            out = [s for s in self._spans if s.get("trace_id") == trace_id]
+            if out:
+                self._spans = [s for s in self._spans
+                               if s.get("trace_id") != trace_id]
+            return out
+
+    def spans(self) -> List[Dict[str, Any]]:
+        """A snapshot of the buffer (spans stay buffered)."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans = []
+            self.dropped = 0
+
+
+def tracer_from_env(environ: Optional[Dict[str, str]] = None) -> Tracer:
+    """A tracer configured from ``REPRO_TRACE`` (unset/0 = disabled;
+    a ratio in ``(0, 1]`` samples that fraction of root spans; the
+    words ``1``/``true``/``on``/``yes`` mean ratio 1.0)."""
+    raw = (environ if environ is not None else os.environ).get(
+        "REPRO_TRACE", "").strip()
+    if not raw:
+        return Tracer(sample_ratio=0.0)
+    try:
+        ratio = float(raw)
+    except ValueError:
+        ratio = 1.0 if raw.lower() in ("true", "on", "yes") else 0.0
+    return Tracer(sample_ratio=max(0.0, min(1.0, ratio)))
+
+
+#: The process-wide tracer every instrumented module goes through.
+_TRACER = tracer_from_env()
+
+
+def get_tracer() -> Tracer:
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process tracer; returns the previous one (tests and
+    profilers install a private tracer and restore the old)."""
+    global _TRACER
+    previous, _TRACER = _TRACER, tracer
+    return previous
+
+
+def configure(sample_ratio: Optional[float] = None,
+              process: Optional[str] = None,
+              max_spans: Optional[int] = None) -> Tracer:
+    """Adjust the process tracer in place (``--trace-out`` flags use
+    this to flip sampling on without replacing the buffer)."""
+    if sample_ratio is not None:
+        _TRACER.sample_ratio = float(sample_ratio)
+    if process is not None:
+        _TRACER.process = process
+    if max_spans is not None:
+        _TRACER.max_spans = max(1, int(max_spans))
+    return _TRACER
+
+
+def span(name: str, parent: Any = _AMBIENT) -> Any:
+    """A span from the process tracer (the instrumentation entry
+    point; see :meth:`Tracer.span`)."""
+    return _TRACER.span(name, parent)
+
+
+def current_context() -> Optional[SpanContext]:
+    return _CURRENT.get()
+
+
+@contextmanager
+def attach(ctx: Optional[SpanContext]):
+    """Install *ctx* as the ambient parent for the ``with`` body — the
+    bridge into executor threads and ``threading.Thread`` targets,
+    which do not inherit the spawning context."""
+    if ctx is None:
+        yield None
+        return
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        try:
+            _CURRENT.reset(token)
+        except ValueError:
+            pass

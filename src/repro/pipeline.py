@@ -16,6 +16,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 from .codegen import CodeGenerator, generator_by_name
 from .compiler import CompileResult, OptLevel, compile_unit
+from .obs.trace import span as _span
 from .compiler.target import (DEFAULT_TARGET_NAME, TargetDescription,
                               resolve_target)
 from .optim import OptimizationReport
@@ -64,7 +65,8 @@ def compile_machine(machine: StateMachine, pattern: str = "nested-switch",
     """Generate code for *machine* with *pattern* and compile it for
     *target* (a registered name, a description, or None = default)."""
     generator = generator_by_name(pattern)
-    unit = generator.generate(machine)
+    with _span("stage.generate"):
+        unit = generator.generate(machine)
     return compile_unit(unit, level, capture_dumps=capture_dumps,
                         target=target)
 
@@ -85,8 +87,10 @@ def compile_machine_delta(machine: StateMachine,
     from .compiler import compile_program_incremental
     from .compiler.frontend.lower import lower_unit
     generator = generator_by_name(pattern)
-    unit = generator.generate(machine)
-    program = lower_unit(unit)
+    with _span("stage.generate"):
+        unit = generator.generate(machine)
+    with _span("stage.lower"):
+        program = lower_unit(unit)
     return compile_program_incremental(program, level=level, target=target,
                                        unit_cache=unit_cache,
                                        extra_key=pattern,

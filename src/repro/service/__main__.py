@@ -14,7 +14,14 @@ batched when several are given)::
         --model flat --pattern nested-switch --pattern state-table
 
 ``stats`` prints the server's engine + per-client statistics as JSON;
-``metrics`` prints the latency/queue/worker telemetry document.
+``metrics`` prints the latency/queue/worker telemetry document
+(``--json`` for one scrape-friendly line).
+
+``serve`` and ``loadgen`` accept ``--trace-out TRACE.json``: sampling
+is flipped to 1.0 and every span the process saw — for loadgen that is
+the whole distributed trace, client + server + worker processes — is
+written as Chrome trace_event JSON on exit (load it in Perfetto or
+``python -m repro.obs view``).
 
 ``loadgen`` drives a deterministic mixed corpus (workload families +
 mutant chains + fuzz machines + duplicates) against a running server
@@ -33,6 +40,8 @@ import sys
 from typing import List, Optional
 
 from ..engine import EngineSpec, ExperimentEngine
+from ..obs.export import write_chrome_trace
+from ..obs.trace import configure, get_tracer
 from ..uml.serialize import load_machine
 from .client import ServiceClient, ServiceError
 from .loadgen import LoadgenSpec, build_corpus, run_load, verify_payloads
@@ -63,11 +72,23 @@ def _client(args: argparse.Namespace, **kwargs) -> ServiceClient:
                          port=args.port, **kwargs)
 
 
+def _trace_flush(path: Optional[str], **metadata) -> None:
+    """Write every span this process buffered to *path* (no-op when
+    ``--trace-out`` was not given)."""
+    if not path:
+        return
+    count = write_chrome_trace(path, get_tracer().drain(),
+                               metadata=metadata)
+    print(f"wrote {count} span(s) to {path}", file=sys.stderr)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     if not args.socket and args.port is None:
         print("error: need --socket or --port to serve on",
               file=sys.stderr)
         return 2
+    if args.trace_out:
+        configure(sample_ratio=1.0, process="service")
     engine = None
     engine_spec = None
     if args.workers > 0:
@@ -103,6 +124,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("service stopped", file=sys.stderr)
+    finally:
+        _trace_flush(args.trace_out, mode="serve",
+                     workers=args.workers, shards=args.shards)
     return 0
 
 
@@ -140,7 +164,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     with _client(args) as client:
-        print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+        print(json.dumps(client.metrics(),
+                         indent=None if args.json else 2,
+                         sort_keys=True))
     return 0
 
 
@@ -152,12 +178,21 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         corpus = corpus + corpus
     print(f"loadgen: {len(corpus)} jobs, {args.clients} client(s), "
           f"batches of {args.batch_size}", file=sys.stderr)
+    if args.trace_out:
+        # After corpus screening: the trace should hold the served
+        # load, not the local pre-compiles.
+        configure(sample_ratio=1.0, process="loadgen")
 
     def make_client():
         return _client(args, busy_retries=args.busy_retries)
 
-    report = run_load(make_client, corpus, batch_size=args.batch_size,
-                      clients=args.clients)
+    try:
+        report = run_load(make_client, corpus,
+                          batch_size=args.batch_size,
+                          clients=args.clients)
+    finally:
+        _trace_flush(args.trace_out, mode="loadgen", jobs=len(corpus),
+                     clients=args.clients, batch_size=args.batch_size)
     summary = report.as_dict()
     if args.verify:
         divergent = verify_payloads(corpus, report.payloads)
@@ -199,6 +234,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                        choices=("memory", "disk", "tiered"),
                        help="cache backend (default: tiered with "
                             "--cache-dir, else memory)")
+    serve.add_argument("--trace-out", metavar="TRACE.json",
+                       help="sample every request and write the "
+                            "server-side spans as Chrome trace JSON "
+                            "on shutdown")
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser("submit", help="compile a model via the "
@@ -229,6 +268,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     metrics = sub.add_parser("metrics", help="print server latency/"
                                              "queue/worker telemetry")
     _add_address_args(metrics)
+    metrics.add_argument("--json", action="store_true",
+                         help="print the document as one JSON line "
+                              "(scrape-friendly)")
     metrics.set_defaults(func=_cmd_metrics)
 
     loadgen = sub.add_parser("loadgen", help="drive a mixed compile "
@@ -267,6 +309,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "byte-identical payloads")
     loadgen.add_argument("--json", action="store_true",
                          help="print the summary as one JSON line")
+    loadgen.add_argument("--trace-out", metavar="TRACE.json",
+                         help="trace every request end-to-end (client "
+                              "+ server + workers) and write one "
+                              "Chrome trace JSON")
     loadgen.set_defaults(func=_cmd_loadgen)
 
     args = parser.parse_args(argv)

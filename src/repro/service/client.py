@@ -32,6 +32,7 @@ import time
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..compiler import OptLevel
+from ..obs.trace import get_tracer, span as _span
 from ..semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
 from ..uml.statemachine import StateMachine
 from .protocol import (MAX_LINE_BYTES, compile_params, decode_message,
@@ -88,34 +89,51 @@ class ServiceClient:
     def request(self, op: str, **params: Any) -> Dict[str, Any]:
         """Send one request; return its ``result`` object or raise
         :class:`ServiceError` / :class:`ServiceBusy`.  ``busy`` replies
-        are retried with capped exponential backoff."""
-        attempt = 0
-        while True:
-            self._next_id += 1
-            message = {"id": self._next_id, "op": op}
-            message.update(params)
-            response = self._roundtrip(message)
-            if response.get("busy"):
-                error = response.get("error", "server busy")
-                if response.get("retry") is False:
-                    raise ServiceBusy(error)
-                if attempt >= self.busy_retries:
-                    raise ServiceBusy(
-                        f"{error} (after {attempt} retries)")
-                self.busy_retries_used += 1
-                time.sleep(min(self.busy_backoff_cap,
-                               self.busy_backoff * (2 ** attempt)))
-                attempt += 1
-                continue
-            # ok/error first: framing-level failures answer with id=None,
-            # and their message must not be masked by the id sanity check.
-            if not response.get("ok"):
-                raise ServiceError(response.get("error", "unknown error"))
-            if response.get("id") != self._next_id:
-                raise ServiceError(
-                    f"response id {response.get('id')!r} != request id "
-                    f"{self._next_id}")
-            return response.get("result", {})
+        are retried with capped exponential backoff.
+
+        When tracing is on, the request carries the client span's
+        context on the wire and every reply's piggybacked ``spans``
+        (server + worker) are ingested into the local tracer — one
+        connected trace across processes."""
+        sp = _span(f"client.{op}")
+        try:
+            attempt = 0
+            while True:
+                self._next_id += 1
+                message = {"id": self._next_id, "op": op}
+                message.update(params)
+                if sp.recording:
+                    message["trace"] = sp.ctx.to_wire()
+                response = self._roundtrip(message)
+                if response.get("spans"):
+                    get_tracer().ingest(response["spans"])
+                if response.get("busy"):
+                    error = response.get("error", "server busy")
+                    if response.get("retry") is False:
+                        raise ServiceBusy(error)
+                    if attempt >= self.busy_retries:
+                        raise ServiceBusy(
+                            f"{error} (after {attempt} retries)")
+                    self.busy_retries_used += 1
+                    time.sleep(min(self.busy_backoff_cap,
+                                   self.busy_backoff * (2 ** attempt)))
+                    attempt += 1
+                    continue
+                # ok/error first: framing-level failures answer with
+                # id=None, and their message must not be masked by the
+                # id sanity check.
+                if not response.get("ok"):
+                    raise ServiceError(
+                        response.get("error", "unknown error"))
+                if response.get("id") != self._next_id:
+                    raise ServiceError(
+                        f"response id {response.get('id')!r} != request "
+                        f"id {self._next_id}")
+                if sp.recording:
+                    sp.set(op=op, attempts=attempt + 1)
+                return response.get("result", {})
+        finally:
+            sp.end()
 
     def close(self) -> None:
         try:

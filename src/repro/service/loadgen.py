@@ -14,9 +14,11 @@ and the CI SLO gate (``scripts/check_service_slo.py``).  Three parts:
   with error replies).
 * :func:`run_load` — drive the corpus through N client threads in
   fixed-size batches against any address, collecting wall-clock
-  throughput, exact request-latency percentiles (raw samples, not
-  bucketed — the load generator can afford them) and busy-retry
-  counts.
+  throughput, exact request-latency percentiles (an
+  ``exact=True`` :class:`repro.obs.metrics.Histogram` retaining raw
+  samples, not bucketed — the load generator can afford them) and
+  busy-retry counts.  When tracing is on, the whole run is one
+  ``loadgen.run`` span and every batch round-trip hangs under it.
 * :func:`verify_payloads` — recompile the corpus on a local reference
   engine and demand byte-identical payloads; the cluster earns its
   speedup only if every served answer matches the in-process compiler
@@ -26,7 +28,6 @@ and the CI SLO gate (``scripts/check_service_slo.py``).  Three parts:
 from __future__ import annotations
 
 import json
-import math
 import threading
 import time
 from dataclasses import dataclass, field
@@ -38,6 +39,8 @@ from ..engine import ExperimentEngine
 from ..experiments.workload import (WorkloadSpec, generate_machine,
                                     mutate_one_transition)
 from ..fuzz.generate import DEFAULT_PROFILES, random_machine
+from ..obs.metrics import Histogram
+from ..obs.trace import attach, span as _span
 from .protocol import compile_params, compile_result_payload, job_from_params
 
 __all__ = ["LoadgenSpec", "LoadReport", "build_corpus", "run_load",
@@ -138,13 +141,6 @@ class LoadReport:
                 "clients": self.clients, "batch_size": self.batch_size}
 
 
-def _percentile(sorted_samples: Sequence[float], q: float) -> float:
-    if not sorted_samples:
-        return 0.0
-    rank = max(1, math.ceil(q * len(sorted_samples)))
-    return sorted_samples[rank - 1]
-
-
 def run_load(make_client: Callable[[], Any],
              corpus: Sequence[Dict[str, Any]],
              batch_size: int = 8,
@@ -162,12 +158,20 @@ def run_load(make_client: Callable[[], Any],
     clients = max(1, int(clients))
     batch_size = max(1, int(batch_size))
     payloads: List[Optional[Dict[str, Any]]] = [None] * len(corpus)
-    latencies: List[List[float]] = [[] for _ in range(clients)]
+    # One thread-safe exact histogram shared by every driver thread:
+    # raw samples, nearest-rank percentiles — the same numbers the
+    # service's bucketed view approximates.
+    latency = Histogram("loadgen_batch_seconds",
+                        "per-batch round-trip latency", exact=True)
     busy_counts = [0] * clients
     errors: List[BaseException] = []
     # Contiguous batch assignment: batch b goes to thread b % clients.
     batches = [(start, corpus[start:start + batch_size])
                for start in range(0, len(corpus), batch_size)]
+    run_span = _span("loadgen.run")
+    if run_span.recording:
+        run_span.set(jobs=len(corpus), clients=clients,
+                     batch_size=batch_size)
 
     def drive(thread_index: int) -> None:
         try:
@@ -176,15 +180,17 @@ def run_load(make_client: Callable[[], Any],
             errors.append(exc)
             return
         try:
-            for batch_index, (start, batch) in enumerate(batches):
-                if batch_index % clients != thread_index:
-                    continue
-                began = time.perf_counter()
-                results = client.submit_batch(batch)
-                latencies[thread_index].append(
-                    time.perf_counter() - began)
-                for offset, payload in enumerate(results):
-                    payloads[start + offset] = payload
+            # threading.Thread targets do not inherit the contextvar —
+            # re-attach so each client.batch span parents under the run.
+            with attach(run_span.ctx if run_span.recording else None):
+                for batch_index, (start, batch) in enumerate(batches):
+                    if batch_index % clients != thread_index:
+                        continue
+                    began = time.perf_counter()
+                    results = client.submit_batch(batch)
+                    latency.record(time.perf_counter() - began)
+                    for offset, payload in enumerate(results):
+                        payloads[start + offset] = payload
             busy_counts[thread_index] = getattr(
                 client, "busy_retries_used", 0)
         except BaseException as exc:
@@ -198,23 +204,24 @@ def run_load(make_client: Callable[[], Any],
                                 name=f"loadgen-{index}")
                for index in range(clients)]
     started = time.perf_counter()
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-    elapsed = time.perf_counter() - started
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+    finally:
+        run_span.end()
     if errors:
         raise errors[0]
 
-    samples = sorted(sample for per_thread in latencies
-                     for sample in per_thread)
     unique = {json.dumps(params, sort_keys=True) for params in corpus}
     return LoadReport(
         jobs=len(corpus), unique_jobs=len(unique), elapsed_s=elapsed,
         jobs_per_sec=len(corpus) / elapsed if elapsed > 0 else 0.0,
-        p50_ms=_percentile(samples, 0.50) * 1000.0,
-        p90_ms=_percentile(samples, 0.90) * 1000.0,
-        p99_ms=_percentile(samples, 0.99) * 1000.0,
+        p50_ms=(latency.percentile(0.50) or 0.0) * 1000.0,
+        p90_ms=(latency.percentile(0.90) or 0.0) * 1000.0,
+        p99_ms=(latency.percentile(0.99) or 0.0) * 1000.0,
         busy_retries=sum(busy_counts), clients=clients,
         batch_size=batch_size, payloads=list(payloads))
 

@@ -1,92 +1,81 @@
-"""Service observability: latency histograms, queue gauges, worker
-counters — everything the ``metrics`` endpoint serves.
+"""Service observability: the ``metrics`` endpoint as a view over
+:mod:`repro.obs.metrics`.
+
+Since schema v2 the service keeps **no private histogram code**: every
+figure the endpoint serves lives in a :class:`~repro.obs.metrics`
+instrument — per-endpoint latency in a labeled ``Histogram``, outcomes
+in a labeled ``Counter``, queue depth/high-water in ``Gauge``s — held
+in a per-service :class:`~repro.obs.metrics.MetricsRegistry` (so two
+:class:`ServiceThread`\\ s in one process don't bleed into each other).
+:meth:`ServiceMetrics.payload` renders the same v1 document shape from
+those instruments (CI gates assert it), adds a ``registry`` section
+exposing *every* registered metric — including the process-global
+:data:`~repro.obs.metrics.REGISTRY` the engine/VM/fleet publish into —
+and stamps ``schema: 2``.
 
 Design rules, in the measure-don't-guess tradition:
 
-* **Scrape-stable schema.**  :meth:`ServiceMetrics.payload` is plain
-  JSON with a ``schema`` stamp; CI gates (``scripts/check_service_slo``)
-  assert its shape, so extending it is additive and renaming is a
-  schema bump.
+* **Scrape-stable schema.**  Plain JSON with a ``schema`` stamp;
+  extending is additive, renaming is a schema bump.  All v1 keys
+  survive under v2.
 * **Cheap on the hot path.**  Recording one request is a bucket
-  increment and a few integer adds under one lock; percentile math
-  happens only at scrape time.
-* **Histograms, not reservoirs.**  Latencies land in fixed log-spaced
-  buckets (~28 per decade would be overkill; we use x1.35 steps from
-  0.05 ms to ~2 min, 39 buckets).  Percentiles are reported as the
-  upper bound of the covering bucket — deterministic, mergeable, and
-  within one bucket width of the true quantile, which is the right
-  trade for an SLO gate.
+  increment and a counter add; percentile math happens at scrape time.
+* **Histograms, not reservoirs.**  The shared ×1.35 log-bucket ladder
+  (see :data:`repro.obs.metrics.DEFAULT_BOUNDS`); percentiles are the
+  covering bucket's upper bound — deterministic, mergeable, within one
+  bucket width of the true quantile, the right trade for an SLO gate.
 
 The module is asyncio-agnostic: the server calls it from the event
-loop *and* worker-completion callbacks (executor threads), hence the
-lock.
+loop *and* worker-completion callbacks (executor threads); the obs
+instruments carry their own locks.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
-__all__ = ["METRICS_SCHEMA_VERSION", "LatencyHistogram",
-           "EndpointMetrics", "ServiceMetrics"]
+from ..obs.metrics import REGISTRY, Histogram, MetricsRegistry
+
+__all__ = ["METRICS_SCHEMA_VERSION", "LatencyHistogram", "ServiceMetrics"]
 
 #: Bump when the ``payload()`` shape changes incompatibly.
-METRICS_SCHEMA_VERSION = 1
-
-
-def _bounds() -> List[float]:
-    bounds = []
-    edge = 0.00005                      # 0.05 ms
-    while edge < 120.0:                 # 2 minutes
-        bounds.append(edge)
-        edge *= 1.35
-    bounds.append(float("inf"))
-    return bounds
-
-
-_BOUNDS = _bounds()
+#: v2 (PR 9): same keys as v1 plus a ``registry`` section; figures now
+#: sourced from :mod:`repro.obs.metrics` instruments.
+METRICS_SCHEMA_VERSION = 2
 
 
 class LatencyHistogram:
-    """Log-bucketed latency histogram (seconds in, milliseconds out)."""
+    """Log-bucketed latency histogram (seconds in, milliseconds out).
 
-    __slots__ = ("counts", "count", "total")
+    Thin veneer over one unlabeled :class:`repro.obs.metrics.Histogram`
+    series — kept because "seconds in, ms out, ``None`` when empty" is
+    the contract the service payload and its tests speak.
+    """
 
-    def __init__(self) -> None:
-        self.counts = [0] * len(_BOUNDS)
-        self.count = 0
-        self.total = 0.0
+    __slots__ = ("_histogram",)
+
+    def __init__(self, histogram: Optional[Histogram] = None) -> None:
+        self._histogram = histogram \
+            if histogram is not None else Histogram("latency_seconds")
 
     def record(self, seconds: float) -> None:
-        index = 0
-        for index, bound in enumerate(_BOUNDS):   # 39 bounds: linear
-            if seconds <= bound:                  # scan beats bisect
-                break                             # at this size
-        self.counts[index] += 1
-        self.count += 1
-        self.total += seconds
+        self._histogram.record(seconds)
+
+    @property
+    def count(self) -> int:
+        return self._histogram.count()
 
     def percentile(self, q: float) -> Optional[float]:
         """Upper bound (ms) of the bucket covering quantile *q*."""
-        if not self.count:
-            return None
-        need = max(1, int(q * self.count + 0.9999999))
-        seen = 0
-        for index, bucket_count in enumerate(self.counts):
-            seen += bucket_count
-            if seen >= need:
-                bound = _BOUNDS[index]
-                if bound == float("inf"):
-                    bound = _BOUNDS[-2] * 1.35
-                return bound * 1000.0
-        return _BOUNDS[-2] * 1000.0
+        seconds = self._histogram.percentile(q)
+        return None if seconds is None else seconds * 1000.0
 
     @property
     def mean_ms(self) -> Optional[float]:
-        if not self.count:
-            return None
-        return self.total / self.count * 1000.0
+        mean = self._histogram.mean()
+        return None if mean is None else mean * 1000.0
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -98,25 +87,8 @@ class LatencyHistogram:
         }
 
 
-class EndpointMetrics:
-    """Latency + outcome counters of one wire operation."""
-
-    __slots__ = ("latency", "errors", "busy")
-
-    def __init__(self) -> None:
-        self.latency = LatencyHistogram()
-        self.errors = 0
-        self.busy = 0
-
-    def as_dict(self) -> Dict[str, Any]:
-        payload = self.latency.as_dict()
-        payload["errors"] = self.errors
-        payload["busy"] = self.busy
-        return payload
-
-
 class ServiceMetrics:
-    """The cluster's one metrics registry (thread-safe).
+    """One service's metrics, all held as registry instruments.
 
     Tracks per-endpoint latency histograms, the bounded-queue gauges
     (depth, high water, rejections), and worker-pool execution time for
@@ -125,49 +97,74 @@ class ServiceMetrics:
     are merged in at :meth:`payload` time.
     """
 
-    def __init__(self, queue_limit: Optional[int] = None) -> None:
-        self._lock = threading.Lock()
+    def __init__(self, queue_limit: Optional[int] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self._lock = threading.Lock()    # enqueue's depth/high-water pair
         self._started = time.monotonic()
         self.queue_limit = queue_limit
-        self.queue_depth = 0
-        self.queue_high_water = 0
-        self.busy_rejections = 0
-        self.jobs_done = 0
-        self.busy_seconds = 0.0          # summed job execution time
-        self._endpoints: Dict[str, EndpointMetrics] = {}
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        reg = self.registry
+        self._latency = reg.histogram(
+            "service_request_seconds", "wire request latency by op")
+        self._requests = reg.counter(
+            "service_requests_total", "wire requests by op and outcome")
+        self._depth = reg.gauge(
+            "service_queue_depth", "compile jobs admitted and not done")
+        self._high_water = reg.gauge(
+            "service_queue_high_water", "max queue depth observed")
+        self._rejections = reg.counter(
+            "service_busy_rejections_total", "requests refused at the gate")
+        self._jobs = reg.counter(
+            "service_jobs_done_total", "compile jobs completed")
+        self._busy = reg.counter(
+            "service_busy_seconds_total", "summed job execution time")
+
+    # -- v1 attribute compatibility ------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return int(self._depth.value())
+
+    @property
+    def queue_high_water(self) -> int:
+        return int(self._high_water.value())
+
+    @property
+    def busy_rejections(self) -> int:
+        return int(self._rejections.value())
+
+    @property
+    def jobs_done(self) -> int:
+        return int(self._jobs.value())
+
+    @property
+    def busy_seconds(self) -> float:
+        return self._busy.value()
 
     # -- recording (hot path) ----------------------------------------------
 
     def observe(self, op: str, seconds: float, outcome: str = "ok") -> None:
         """One request of *op* took *seconds*; outcome is ``ok`` |
         ``error`` | ``busy``."""
-        with self._lock:
-            endpoint = self._endpoints.get(op)
-            if endpoint is None:
-                endpoint = self._endpoints[op] = EndpointMetrics()
-            endpoint.latency.record(seconds)
-            if outcome == "error":
-                endpoint.errors += 1
-            elif outcome == "busy":
-                endpoint.busy += 1
+        self._latency.record(seconds, op=op)
+        self._requests.inc(op=op, outcome=outcome)
 
     def enqueue(self, n: int) -> None:
         """*n* compile jobs admitted to the bounded queue."""
-        with self._lock:
-            self.queue_depth += n
-            if self.queue_depth > self.queue_high_water:
-                self.queue_high_water = self.queue_depth
+        with self._lock:                 # depth and high-water move together
+            depth = self._depth.add(n)
+            self._high_water.max_with(depth)
 
     def dequeue(self, n: int, busy_seconds: float = 0.0) -> None:
         """*n* jobs finished after *busy_seconds* of execution time."""
-        with self._lock:
-            self.queue_depth -= n
-            self.jobs_done += n
-            self.busy_seconds += busy_seconds
+        self._depth.add(-n)
+        self._jobs.inc(n)
+        if busy_seconds:
+            self._busy.inc(busy_seconds)
 
     def reject(self) -> None:
-        with self._lock:
-            self.busy_rejections += 1
+        self._rejections.inc()
 
     # -- scraping -----------------------------------------------------------
 
@@ -178,26 +175,36 @@ class ServiceMetrics:
             return None
         return min(1.0, self.busy_seconds / (elapsed * workers))
 
+    def _endpoint_block(self, op: str) -> Dict[str, Any]:
+        mean = self._latency.mean(op=op)
+        block: Dict[str, Any] = {
+            "count": self._latency.count(op=op),
+            "mean_ms": None if mean is None else mean * 1000.0,
+        }
+        for label, q in (("p50_ms", 0.50), ("p90_ms", 0.90),
+                         ("p99_ms", 0.99)):
+            seconds = self._latency.percentile(q, op=op)
+            block[label] = None if seconds is None else seconds * 1000.0
+        block["errors"] = int(self._requests.value(op=op, outcome="error"))
+        block["busy"] = int(self._requests.value(op=op, outcome="busy"))
+        return block
+
     def payload(self, workers: int = 0,
                 pool_stats: Optional[Dict[str, Any]] = None,
                 cache: Optional[Dict[str, Any]] = None,
                 shard_sizes: Optional[Dict[str, int]] = None,
                 ) -> Dict[str, Any]:
-        """The ``metrics`` endpoint's JSON document."""
-        with self._lock:
-            endpoints = {op: endpoint.as_dict()
-                         for op, endpoint in sorted(self._endpoints.items())}
-            queue = {
-                "depth": self.queue_depth,
-                "limit": self.queue_limit,
-                "high_water": self.queue_high_water,
-                "busy_rejections": self.busy_rejections,
-            }
-            jobs_done = self.jobs_done
+        """The ``metrics`` endpoint's JSON document (schema v2: every
+        v1 key, plus ``registry`` — this service's instruments merged
+        with the process-global :data:`~repro.obs.metrics.REGISTRY`)."""
+        ops = sorted({labels["op"]
+                      for labels in self._latency.labelsets()
+                      if "op" in labels})
+        endpoints = {op: self._endpoint_block(op) for op in ops}
         worker_block: Dict[str, Any] = {
             "configured": workers,
             "mode": "process-pool" if workers else "in-process",
-            "jobs_done": jobs_done,
+            "jobs_done": self.jobs_done,
             "utilization": self.utilization(workers),
         }
         worker_block.update(pool_stats or {})
@@ -205,9 +212,15 @@ class ServiceMetrics:
             "schema": METRICS_SCHEMA_VERSION,
             "uptime_s": time.monotonic() - self._started,
             "endpoints": endpoints,
-            "queue": queue,
+            "queue": {
+                "depth": self.queue_depth,
+                "limit": self.queue_limit,
+                "high_water": self.queue_high_water,
+                "busy_rejections": self.busy_rejections,
+            },
             "workers": worker_block,
             "cache": cache or {},
+            "registry": {**REGISTRY.snapshot(), **self.registry.snapshot()},
         }
         if shard_sizes is not None:
             payload["shards"] = shard_sizes

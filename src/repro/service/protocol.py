@@ -27,6 +27,16 @@ with a **busy reply** instead: ``{"id": N, "ok": false, "busy": true,
 transparently); ``retry: false`` marks a request that can never be
 admitted (a batch larger than the whole queue).
 
+**Tracing (optional).**  A request may carry a ``"trace"`` field —
+``{"trace_id": hex, "parent_id": hex}``, a
+:meth:`repro.obs.trace.SpanContext.to_wire` dict — in which case the
+server opens its ``service.<op>`` span under that parent (and forwards
+the context to worker processes on chunk submissions).  The matching
+response then carries a ``"spans"`` array of finished span dicts (see
+:mod:`repro.obs.trace` for the schema) covering the server's and
+workers' share of the trace, which the client ingests into its local
+tracer.  Untraced requests omit both fields and pay nothing.
+
 Machines travel as their canonical JSON dict
 (:func:`repro.uml.serialize.machine_to_dict`) and semantics configs via
 :func:`semantics_to_dict` — the same serializations the engine's cache

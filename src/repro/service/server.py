@@ -56,6 +56,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import threading
 
 from ..engine import EngineSpec, ExperimentEngine, ShardedBackend
+from ..obs.trace import NOOP_SPAN, SpanContext, attach, get_tracer
 from .batching import (dedup_params, params_digest, plan_chunks,
                        sort_for_locality)
 from .metrics import ServiceMetrics
@@ -197,34 +198,62 @@ class CompileService:
         self.totals.requests += 1
         request_id = None
         op: Any = None
+        span = NOOP_SPAN
+        remote: Optional[SpanContext] = None
         started = time.perf_counter()
         try:
             message = decode_message(line)
             request_id = message.get("id")
             op = message.get("op")
-            result = await self._dispatch(op, message, name, client)
+            # Re-parent this request under the client's span when the
+            # message carries a trace context (a recording remote parent
+            # always records); otherwise the server samples on its own.
+            remote = SpanContext.from_wire(message.get("trace"))
+            tracer = get_tracer()
+            span = tracer.span(f"service.{op}", parent=remote) \
+                if remote is not None else tracer.span(f"service.{op}")
+            result = await self._dispatch(op, message, name, client, span)
         except BusyRejection as busy:
             client.busy += 1
             self.totals.busy += 1
             self.metrics.reject()
             self.metrics.observe(str(op), time.perf_counter() - started,
                                  "busy")
-            return {"id": request_id, "ok": False, "busy": True,
-                    "retry": busy.retry, "error": str(busy)}
+            return self._finish_span(span, remote, "busy", {
+                "id": request_id, "ok": False, "busy": True,
+                "retry": busy.retry, "error": str(busy)})
         except Exception as exc:
             client.errors += 1
             self.totals.errors += 1
             self.metrics.observe(str(op) if op else "invalid",
                                  time.perf_counter() - started, "error")
-            return {"id": request_id, "ok": False,
-                    "error": f"{type(exc).__name__}: {exc}"}
+            return self._finish_span(span, remote, "error", {
+                "id": request_id, "ok": False,
+                "error": f"{type(exc).__name__}: {exc}"})
         self.metrics.observe(str(op), time.perf_counter() - started, "ok")
-        return {"id": request_id, "ok": True, "result": result}
+        return self._finish_span(span, remote, "ok", {
+            "id": request_id, "ok": True, "result": result})
+
+    @staticmethod
+    def _finish_span(span, remote: Optional[SpanContext], outcome: str,
+                     response: Dict[str, Any]) -> Dict[str, Any]:
+        """End the request span; when the request arrived with a trace
+        context, piggyback this trace's finished spans (the service
+        span, worker chunk spans already ingested, ...) on the response
+        envelope so the client reassembles one connected trace."""
+        if not span.recording:
+            return response
+        span.set(outcome=outcome)
+        span.end()
+        if remote is not None:
+            response["spans"] = get_tracer().drain(span.trace_id)
+        return response
 
     # -- operations ---------------------------------------------------------
 
     async def _dispatch(self, op: Any, message: Dict[str, Any], name: str,
-                        client: ClientStats) -> Dict[str, Any]:
+                        client: ClientStats, span=NOOP_SPAN
+                        ) -> Dict[str, Any]:
         if op == "ping":
             from .. import __version__
             return {"pong": True, "version": __version__}
@@ -233,9 +262,9 @@ class CompileService:
         if op == "metrics":
             return self.metrics_payload()
         if op == "compile":
-            return await self._compile_one(message, client)
+            return await self._compile_one(message, client, span)
         if op == "batch":
-            return await self._compile_batch(message, client)
+            return await self._compile_batch(message, client, span)
         raise ValueError(f"unknown operation {op!r}")
 
     # -- backpressure -------------------------------------------------------
@@ -265,35 +294,48 @@ class CompileService:
     # -- compile: shared plumbing -------------------------------------------
 
     async def _run_pooled(self, chunk: List[Dict[str, Any]],
-                          n_jobs: int) -> Dict[str, Any]:
-        """One chunk through the worker pool, with queue accounting."""
+                          n_jobs: int,
+                          trace_ctx: Optional[Dict[str, str]] = None
+                          ) -> Dict[str, Any]:
+        """One chunk through the worker pool, with queue accounting.
+        Worker spans piggybacked on the reply are ingested here so the
+        request's final drain ships them back to the client."""
         assert self.pool is not None
         try:
             reply = await asyncio.wrap_future(
-                self.pool.submit_chunk(chunk))
+                self.pool.submit_chunk(chunk, trace_ctx))
         except BaseException:
             self.metrics.dequeue(n_jobs, 0.0)
             raise
         self.metrics.dequeue(n_jobs, float(reply.get("busy_s", 0.0)))
+        if reply.get("spans"):
+            get_tracer().ingest(reply["spans"])
         return reply
 
-    async def _run_compile(self, job):
+    async def _run_compile(self, job, ctx: Optional[SpanContext] = None):
         loop = asyncio.get_running_loop()
         started = time.perf_counter()
-        try:
-            return await loop.run_in_executor(
-                None, lambda: self.engine.compile_machine(
+
+        def run():
+            # Executor threads do not inherit the contextvar — re-attach
+            # the request span so engine/cache spans parent under it.
+            with attach(ctx):
+                return self.engine.compile_machine(
                     job.machine, pattern=job.pattern, level=job.level,
-                    target=job.target, semantics=job.semantics))
+                    target=job.target, semantics=job.semantics)
+
+        try:
+            return await loop.run_in_executor(None, run)
         finally:
             self.metrics.dequeue(1, time.perf_counter() - started)
 
     # -- compile: single ----------------------------------------------------
 
     async def _compile_one(self, message: Dict[str, Any],
-                           client: ClientStats) -> Dict[str, Any]:
+                           client: ClientStats,
+                           span=NOOP_SPAN) -> Dict[str, Any]:
         if self.pool is not None:
-            return await self._compile_one_pooled(message, client)
+            return await self._compile_one_pooled(message, client, span)
         loop = asyncio.get_running_loop()
         # Deserializing and fingerprinting a machine is CPU work
         # proportional to its size — executor, not event loop.
@@ -303,7 +345,8 @@ class CompileService:
         task = self._inflight.get(key)
         if task is None:
             self._admit(1)
-            task = loop.create_task(self._run_compile(job))
+            task = loop.create_task(self._run_compile(
+                job, span.ctx if span.recording else None))
             self._inflight[key] = task
             task.add_done_callback(
                 lambda _t, _key=key: self._inflight.pop(_key, None))
@@ -319,7 +362,8 @@ class CompileService:
                 job, result, want_asm=bool(message.get("want_asm"))))
 
     async def _compile_one_pooled(self, message: Dict[str, Any],
-                                  client: ClientStats) -> Dict[str, Any]:
+                                  client: ClientStats,
+                                  span=NOOP_SPAN) -> Dict[str, Any]:
         loop = asyncio.get_running_loop()
         params = self._job_params(message)
         # Coalescing key: canonical request bytes.  No machine
@@ -330,7 +374,9 @@ class CompileService:
         task = self._inflight.get(key)
         if task is None:
             self._admit(1)
-            task = loop.create_task(self._run_pooled([params], 1))
+            task = loop.create_task(self._run_pooled(
+                [params], 1,
+                span.ctx.to_wire() if span.recording else None))
             self._inflight[key] = task
             task.add_done_callback(
                 lambda _t, _key=key: self._inflight.pop(_key, None))
@@ -344,20 +390,23 @@ class CompileService:
     # -- compile: batch -----------------------------------------------------
 
     async def _compile_batch(self, message: Dict[str, Any],
-                             client: ClientStats) -> Dict[str, Any]:
+                             client: ClientStats,
+                             span=NOOP_SPAN) -> Dict[str, Any]:
         raw_jobs = message.get("jobs")
         if not isinstance(raw_jobs, list):
             raise ValueError("batch needs a 'jobs' array")
         if self.pool is not None:
-            return await self._compile_batch_pooled(raw_jobs, client)
+            return await self._compile_batch_pooled(raw_jobs, client, span)
         client.batch_jobs += len(raw_jobs)
         self._admit(len(raw_jobs))
+        ctx = span.ctx if span.recording else None
 
         def run_whole_batch():
             # Deserialization and planning are CPU work proportional to
             # the grid — keep them off the event-loop thread too.
-            jobs = [job_from_params(params) for params in raw_jobs]
-            results, plan = self.engine.run_batch_planned(jobs)
+            with attach(ctx):
+                jobs = [job_from_params(params) for params in raw_jobs]
+                results, plan = self.engine.run_batch_planned(jobs)
             return [
                 compile_result_payload(
                     job, result, want_asm=bool(params.get("want_asm")))
@@ -375,10 +424,12 @@ class CompileService:
         return {"results": payloads, "deduplicated": deduplicated}
 
     async def _compile_batch_pooled(self, raw_jobs: List[Any],
-                                    client: ClientStats
+                                    client: ClientStats,
+                                    span=NOOP_SPAN
                                     ) -> Dict[str, Any]:
         assert self.pool is not None
         client.batch_jobs += len(raw_jobs)
+        trace_ctx = span.ctx.to_wire() if span.recording else None
         loop = asyncio.get_running_loop()
 
         def shape_batch():
@@ -396,7 +447,7 @@ class CompileService:
         self._admit(n_unique)
         dispatched = [
             loop.create_task(self._run_pooled(
-                [params for _, params in chunk], len(chunk)))
+                [params for _, params in chunk], len(chunk), trace_ctx))
             for chunk in chunks
         ]
         try:
@@ -422,16 +473,18 @@ class CompileService:
             agg["lookups"] = lookups
             agg["hit_rate"] = agg["hits"] / lookups if lookups else 0.0
             return agg
-        stats = self.engine.stats
-        units = self.engine.unit_stats
+        # snapshot() reads every counter under one lock acquisition —
+        # no torn hits/lookups pairs while compiles are in flight.
+        stats = self.engine.stats.snapshot()
+        units = self.engine.unit_stats.snapshot()
         delta = self.engine.delta_stats
         return {
             "jobs": self.engine.jobs,
-            "hits": stats.hits, "misses": stats.misses,
-            "disk_hits": stats.disk_hits,
-            "lookups": stats.lookups, "hit_rate": stats.hit_rate,
-            "unit_hits": units.hits, "unit_misses": units.misses,
-            "unit_disk_hits": units.disk_hits,
+            "hits": stats["hits"], "misses": stats["misses"],
+            "disk_hits": stats["disk_hits"],
+            "lookups": stats["lookups"], "hit_rate": stats["hit_rate"],
+            "unit_hits": units["hits"], "unit_misses": units["misses"],
+            "unit_disk_hits": units["disk_hits"],
             "reused_units": delta.reused_units,
             "compiled_units": delta.compiled_units,
         }

@@ -50,6 +50,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..engine import EngineSpec
+from ..obs.trace import SpanContext, get_tracer
 
 __all__ = ["WorkerPool", "PoolStats"]
 
@@ -97,45 +98,68 @@ def _apply_chaos(chaos: Dict[str, Any]) -> None:
 
 def _stats_snapshot() -> Dict[str, Any]:
     engine = _WORKER_ENGINE
-    stats = engine.stats
-    units = engine.unit_stats
+    # snapshot() reads each CacheStats under one lock acquisition — a
+    # field-by-field read here could tear against a concurrent compile.
+    stats = engine.stats.snapshot()
+    units = engine.unit_stats.snapshot()
     delta = engine.delta_stats
     return {
         "token": _WORKER_TOKEN,
         "pid": os.getpid(),
         "jobs": _WORKER_JOBS,
-        "hits": stats.hits,
-        "misses": stats.misses,
-        "disk_hits": stats.disk_hits,
-        "unit_hits": units.hits,
-        "unit_misses": units.misses,
-        "unit_disk_hits": units.disk_hits,
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "disk_hits": stats["disk_hits"],
+        "unit_hits": units["hits"],
+        "unit_misses": units["misses"],
+        "unit_disk_hits": units["disk_hits"],
         "reused_units": delta.reused_units,
         "compiled_units": delta.compiled_units,
     }
 
 
-def _run_chunk(chunk: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
-    """Compile every job of *chunk* on this worker's engine."""
+def _run_chunk(chunk: Sequence[Dict[str, Any]],
+               trace_ctx: Optional[Dict[str, Any]] = None
+               ) -> Dict[str, Any]:
+    """Compile every job of *chunk* on this worker's engine.
+
+    *trace_ctx* is the server's batch-span wire context; when present,
+    this worker's spans (chunk, per-job compile, and everything the
+    engine emits underneath) re-parent under it and ship back in the
+    reply's ``spans`` field, piggybacked on the payloads.
+    """
     global _WORKER_JOBS
     from .protocol import compile_result_payload, job_from_params
+    tracer = get_tracer()
+    parent = SpanContext.from_wire(trace_ctx)
+    chunk_span = tracer.span("worker.chunk", parent=parent)
+    if chunk_span.recording:
+        chunk_span.set(jobs=len(chunk), pid=os.getpid())
     started = time.perf_counter()
     payloads: List[Dict[str, Any]] = []
-    for params in chunk:
-        if _WORKER_CHAOS and isinstance(params.get("chaos"), dict):
-            _apply_chaos(params["chaos"])
-        job = job_from_params(params)
-        result = _WORKER_ENGINE.compile_machine(
-            job.machine, pattern=job.pattern, level=job.level,
-            target=job.target, semantics=job.semantics)
-        payloads.append(compile_result_payload(
-            job, result, want_asm=bool(params.get("want_asm"))))
-        _WORKER_JOBS += 1
-    return {
+    with chunk_span:
+        for params in chunk:
+            if _WORKER_CHAOS and isinstance(params.get("chaos"), dict):
+                _apply_chaos(params["chaos"])
+            job = job_from_params(params)
+            with tracer.span("worker.compile") as job_span:
+                result = _WORKER_ENGINE.compile_machine(
+                    job.machine, pattern=job.pattern, level=job.level,
+                    target=job.target, semantics=job.semantics)
+                if job_span.recording:
+                    job_span.set(machine=job.machine.name,
+                                 pattern=job.pattern)
+            payloads.append(compile_result_payload(
+                job, result, want_asm=bool(params.get("want_asm"))))
+            _WORKER_JOBS += 1
+    reply = {
         "payloads": payloads,
         "busy_s": time.perf_counter() - started,
         "stats": _stats_snapshot(),
     }
+    if chunk_span.recording:
+        reply["spans"] = tracer.drain(chunk_span.trace_id)
+    return reply
 
 
 def _ping(sleep_s: float) -> str:
@@ -217,16 +241,20 @@ class WorkerPool:
 
     # -- submission ---------------------------------------------------------
 
-    def submit_chunk(self, chunk: Sequence[Dict[str, Any]]) -> "Future":
+    def submit_chunk(self, chunk: Sequence[Dict[str, Any]],
+                     trace_ctx: Optional[Dict[str, Any]] = None
+                     ) -> "Future":
         """Run *chunk* on one worker; the future resolves to the worker
-        reply (``payloads`` + ``busy_s`` + ``stats``).  Worker deaths
-        are retried transparently up to ``max_retries`` times."""
+        reply (``payloads`` + ``busy_s`` + ``stats``, plus ``spans``
+        when *trace_ctx* carries a recording trace).  Worker deaths are
+        retried transparently up to ``max_retries`` times."""
         outer: Future = Future()
-        self._submit(list(chunk), outer, self.max_retries)
+        self._submit(list(chunk), outer, self.max_retries, trace_ctx)
         return outer
 
     def _submit(self, chunk: List[Dict[str, Any]], outer: Future,
-                retries_left: int) -> None:
+                retries_left: int,
+                trace_ctx: Optional[Dict[str, Any]] = None) -> None:
         with self._lock:
             if self._closed:
                 outer.set_exception(
@@ -234,7 +262,7 @@ class WorkerPool:
                 return
             generation = self._generation
             try:
-                inner = self._executor.submit(_run_chunk, chunk)
+                inner = self._executor.submit(_run_chunk, chunk, trace_ctx)
             except BrokenProcessPool as exc:
                 # The pool broke between submissions; rebuild inline.
                 self._rebuild_locked(generation)
@@ -242,7 +270,8 @@ class WorkerPool:
                     self.stats.bump("retried_chunks")
                     generation = self._generation
                     try:
-                        inner = self._executor.submit(_run_chunk, chunk)
+                        inner = self._executor.submit(_run_chunk, chunk,
+                                                      trace_ctx)
                         retries_left -= 1
                     except BrokenProcessPool as again:
                         self.stats.bump("failed_chunks")
@@ -266,7 +295,7 @@ class WorkerPool:
                     self._rebuild_locked(_gen)
                 if _retries > 0:
                     self.stats.bump("retried_chunks")
-                    self._submit(chunk, outer, _retries - 1)
+                    self._submit(chunk, outer, _retries - 1, trace_ctx)
                     return
                 self.stats.bump("failed_chunks")
             outer.set_exception(exc)

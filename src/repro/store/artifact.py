@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, List, Optional, Tuple
 
+from ..obs.trace import span as _span
 from .entry import EntryError, decode_entry, encode_entry
 
 __all__ = ["ArtifactStore", "StoreStats", "GcReport", "FsckReport"]
@@ -133,24 +134,32 @@ class ArtifactStore:
         deleted and reported as a miss.  A verified read refreshes the
         entry's LRU position.
         """
-        self.stats.reads += 1
-        path = self.path_for(key)
-        try:
-            data = path.read_bytes()
-        except OSError:
-            raise KeyError(key) from None
-        try:
-            value = decode_entry(key, data)
-        except EntryError:
-            self._drop(path)
-            self.stats.corrupt_dropped += 1
-            raise KeyError(key) from None
-        try:
-            os.utime(path)              # LRU touch; entry may be racing gc
-        except OSError:
-            pass
-        self.stats.read_hits += 1
-        return value
+        sp = _span("store.read")
+        with sp:
+            self.stats.reads += 1
+            path = self.path_for(key)
+            try:
+                data = path.read_bytes()
+            except OSError:
+                if sp.recording:
+                    sp.set(outcome="miss")
+                raise KeyError(key) from None
+            try:
+                value = decode_entry(key, data)
+            except EntryError:
+                self._drop(path)
+                self.stats.corrupt_dropped += 1
+                if sp.recording:
+                    sp.set(outcome="corrupt")
+                raise KeyError(key) from None
+            try:
+                os.utime(path)          # LRU touch; entry may be racing gc
+            except OSError:
+                pass
+            self.stats.read_hits += 1
+            if sp.recording:
+                sp.set(outcome="hit", bytes=len(data))
+            return value
 
     def get(self, key: str, default: Any = None) -> Any:
         try:
@@ -160,34 +169,38 @@ class ArtifactStore:
 
     def put(self, key: str, value: Any) -> None:
         """Publish *value* under *key* (atomic, last writer wins)."""
-        data = encode_entry(key, value)
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        replaced = 0
-        if self.max_bytes is not None:
+        sp = _span("store.write")
+        with sp:
+            data = encode_entry(key, value)
+            if sp.recording:
+                sp.set(bytes=len(data))
+            path = self.path_for(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            replaced = 0
+            if self.max_bytes is not None:
+                try:
+                    replaced = path.stat().st_size   # overwrite, not growth
+                except OSError:
+                    pass
+            fd, tmp_name = tempfile.mkstemp(dir=self._tmp, prefix="put-")
             try:
-                replaced = path.stat().st_size   # overwrite, not growth
-            except OSError:
-                pass
-        fd, tmp_name = tempfile.mkstemp(dir=self._tmp, prefix="put-")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(data)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        self.stats.writes += 1
-        if self.max_bytes is not None:
-            if self._approx_bytes is None:
-                self._approx_bytes = self.total_bytes()
-            else:
-                self._approx_bytes += len(data) - replaced
-            if self._approx_bytes > self.max_bytes:
-                self.gc()
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(data)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            self.stats.writes += 1
+            if self.max_bytes is not None:
+                if self._approx_bytes is None:
+                    self._approx_bytes = self.total_bytes()
+                else:
+                    self._approx_bytes += len(data) - replaced
+                if self._approx_bytes > self.max_bytes:
+                    self.gc()
 
     def __contains__(self, key: str) -> bool:
         """Fast presence probe (no integrity verification)."""
@@ -267,30 +280,35 @@ class ArtifactStore:
     def gc(self, max_bytes: Optional[int] = None) -> GcReport:
         """LRU sweep: drop oldest-read entries until under *max_bytes*
         (default: the store's configured budget; 0 empties the store)."""
-        budget = self.max_bytes if max_bytes is None else max_bytes
-        self._reap_stale_tmp()
-        entries: List[Tuple[float, int, Path]] = []
-        for path in self._entry_paths():
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            entries.append((stat.st_mtime, stat.st_size, path))
-        report = GcReport(scanned=len(entries),
-                          bytes_before=sum(e[1] for e in entries))
-        report.bytes_after = report.bytes_before
-        if budget is None:
+        sp = _span("store.gc")
+        with sp:
+            budget = self.max_bytes if max_bytes is None else max_bytes
+            self._reap_stale_tmp()
+            entries: List[Tuple[float, int, Path]] = []
+            for path in self._entry_paths():
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+            report = GcReport(scanned=len(entries),
+                              bytes_before=sum(e[1] for e in entries))
+            report.bytes_after = report.bytes_before
+            if budget is None:
+                return report
+            entries.sort(key=lambda e: (e[0], e[2].name))
+            for mtime, size, path in entries:
+                if report.bytes_after <= budget:
+                    break
+                self._drop(path)
+                report.dropped += 1
+                report.bytes_after -= size
+            self.stats.evicted += report.dropped
+            self._approx_bytes = report.bytes_after   # resync the estimate
+            if sp.recording:
+                sp.set(scanned=report.scanned, dropped=report.dropped,
+                       bytes_after=report.bytes_after)
             return report
-        entries.sort(key=lambda e: (e[0], e[2].name))
-        for mtime, size, path in entries:
-            if report.bytes_after <= budget:
-                break
-            self._drop(path)
-            report.dropped += 1
-            report.bytes_after -= size
-        self.stats.evicted += report.dropped
-        self._approx_bytes = report.bytes_after     # resync the estimate
-        return report
 
     def fsck(self) -> FsckReport:
         """Verify every entry end to end; drop (and report) the bad."""

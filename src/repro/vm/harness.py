@@ -44,10 +44,17 @@ from ..codegen.common import event_index
 from ..compiler.driver import OptLevel, compile_unit
 from ..compiler.frontend.lower import _UnitContext, mangle
 from ..compiler.target.description import TargetDescription
+from ..obs.metrics import REGISTRY
 from ..semantics.trace import Trace, TraceKind
 from ..uml.statemachine import StateMachine
 from .image import Image, assemble
 from .machine import Machine
+
+#: Process-wide VM execution totals (unlabeled: scrape and diff).
+_VM_CYCLES = REGISTRY.counter("vm_cycles_total",
+                              "simulator cycles spent dispatching events")
+_VM_EVENTS = REGISTRY.counter("vm_events_total",
+                              "events dispatched on compiled-machine VMs")
 
 __all__ = ["CompiledProgram", "CompiledMachineVM", "VmMetrics",
            "run_vm_scenario"]
@@ -236,7 +243,10 @@ class CompiledMachineVM:
         self.vm.call_function(mangle(self.cls_name, "dispatch"),
                               (self.this, index))
         self._expected_echo = None
-        self._dispatch_cycles.append(self.vm.cycles - before)
+        spent = self.vm.cycles - before
+        self._dispatch_cycles.append(spent)
+        _VM_CYCLES.inc(spent)
+        _VM_EVENTS.inc()
         return self
 
     def send_all(self, events: Sequence[object]) -> "CompiledMachineVM":

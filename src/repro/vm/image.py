@@ -26,6 +26,7 @@ from ..compiler.gimple.ir import SymbolRef
 from ..compiler.rtl.ir import RInstr
 from ..compiler.target.description import TargetDescription
 from ..compiler.target.registry import resolve_target
+from ..obs.trace import span as _span
 from .encoding import EncodingError, OperandPool, TargetEncoding
 
 __all__ = ["Image", "assemble", "TEXT_BASE", "DATA_BASE", "STACK_BASE",
@@ -93,6 +94,14 @@ def assemble(module: AsmModule, target=None) -> Image:
     a *different* one is an error waiting to happen and therefore
     rejected.
     """
+    sp = _span("stage.assemble")
+    if sp.recording:
+        sp.set(module=module.name)
+    with sp:
+        return _assemble(module, target)
+
+
+def _assemble(module: AsmModule, target=None) -> Image:
     tgt = module.target if module.target is not None \
         else resolve_target(target)
     if target is not None and resolve_target(target).name != tgt.name:

@@ -108,3 +108,53 @@ class TestEngineCacheKeys:
         ExperimentEngine(cache=cache).compile_machine(machine)
         ExperimentEngine(cache=cache).compile_machine(machine)
         assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+class TestStatsSnapshot:
+    def test_snapshot_shape(self):
+        cache = CompileCache(name="unit-test")
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("a", lambda: 2)
+        snap = cache.stats.snapshot()
+        assert snap == {"hits": 1, "misses": 1, "disk_hits": 0,
+                        "lookups": 2, "hit_rate": 0.5}
+
+    def test_snapshot_is_torn_read_free(self):
+        """hits + misses must always equal lookups inside one snapshot,
+        even while other threads are recording — the whole point of
+        taking every counter under a single lock acquisition."""
+        cache = CompileCache()
+        stop = threading.Event()
+
+        def pound():
+            key = 0
+            while not stop.is_set():
+                cache.get_or_compute(key % 4, lambda: key)
+                key += 1
+
+        writers = [threading.Thread(target=pound) for _ in range(3)]
+        for w in writers:
+            w.start()
+        try:
+            for _ in range(2000):
+                snap = cache.stats.snapshot()
+                assert snap["hits"] + snap["misses"] == snap["lookups"]
+                expected = snap["hits"] / snap["lookups"] \
+                    if snap["lookups"] else 0.0
+                assert snap["hit_rate"] == expected
+        finally:
+            stop.set()
+            for w in writers:
+                w.join()
+
+    def test_named_cache_publishes_into_the_registry(self):
+        from repro.obs.metrics import REGISTRY
+        hits = REGISTRY.counter("engine_cache_hits_total")
+        misses = REGISTRY.counter("engine_cache_misses_total")
+        base_h = hits.value(cache="reg-probe", origin="memory")
+        base_m = misses.value(cache="reg-probe")
+        cache = CompileCache(name="reg-probe")
+        cache.get_or_compute("k", lambda: 1)
+        cache.get_or_compute("k", lambda: 2)
+        assert misses.value(cache="reg-probe") == base_m + 1
+        assert hits.value(cache="reg-probe", origin="memory") == base_h + 1

@@ -1,0 +1,100 @@
+"""Exporters: Chrome trace JSON (Perfetto form) + human stage tree."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (SchemaMismatch, chrome_trace,
+                              load_chrome_trace, stage_tree,
+                              write_chrome_trace)
+from repro.obs.trace import Tracer
+from repro.service.metrics import METRICS_SCHEMA_VERSION
+
+
+@pytest.fixture
+def spans():
+    tracer = Tracer(sample_ratio=1.0, process="test-proc")
+    with tracer.span("root") as root:
+        root.set(machine="M1")
+        with tracer.span("child-a"):
+            with tracer.span("grandchild"):
+                pass
+        with tracer.span("child-b"):
+            pass
+    return tracer.drain()
+
+
+class TestChromeTrace:
+    def test_document_shape(self, spans):
+        doc = chrome_trace(spans, metadata={"mode": "test"})
+        assert doc["displayTimeUnit"] == "ms"
+        other = doc["otherData"]
+        assert other["generator"] == "repro.obs"
+        assert other["metrics_schema"] == METRICS_SCHEMA_VERSION
+        assert other["span_count"] == len(spans)
+        assert other["mode"] == "test"
+
+    def test_one_complete_event_per_span(self, spans):
+        doc = chrome_trace(spans)
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == len(spans)
+        assert {e["name"] for e in events} == \
+            {"root", "child-a", "child-b", "grandchild"}
+        for event in events:
+            assert event["args"]["trace_id"]
+            assert event["args"]["span_id"]
+            assert event["ts"] >= 0.0       # normalised to min-ts = 0
+            assert event["dur"] >= 0.0
+
+    def test_process_metadata_lane(self, spans):
+        doc = chrome_trace(spans)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == 1               # one pid in this test
+        assert meta[0]["name"] == "process_name"
+        assert meta[0]["args"]["name"] == "test-proc"
+
+    def test_attrs_become_args(self, spans):
+        doc = chrome_trace(spans)
+        root = next(e for e in doc["traceEvents"]
+                    if e.get("name") == "root")
+        assert root["args"]["machine"] == "M1"
+
+    def test_json_round_trip(self, spans, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(str(path), spans)
+        assert count == len(spans) + 1      # + process metadata lane
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document == load_chrome_trace(str(path))
+
+    def test_schema_mismatch_fails_loudly(self, spans, tmp_path):
+        path = tmp_path / "stale.json"
+        write_chrome_trace(str(path), spans)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["otherData"]["metrics_schema"] = \
+            METRICS_SCHEMA_VERSION + 10
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(SchemaMismatch):
+            load_chrome_trace(str(path))
+
+
+class TestStageTree:
+    def test_tree_nests_and_shows_shares(self, spans):
+        text = stage_tree(spans)
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert any(line.startswith("  child-a") for line in lines)
+        assert any(line.startswith("    grandchild") for line in lines)
+        assert "ms" in lines[0]
+        assert "[test-proc]" in lines[0]
+        assert "%" in lines[1]              # child share of parent
+
+    def test_orphans_are_rooted(self):
+        tracer = Tracer(sample_ratio=1.0)
+        sp = tracer.span("lonely")
+        sp.parent_id = "ff" * 8             # parent never recorded
+        sp.end()
+        text = stage_tree(tracer.drain())
+        assert text.startswith("lonely")
+
+    def test_empty(self):
+        assert stage_tree([]) == "(no spans)"

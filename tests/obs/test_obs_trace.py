@@ -1,0 +1,175 @@
+"""Tracing core: sampling, parentage, context propagation, buffering."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import (NOOP_SPAN, Span, SpanContext, Tracer, attach,
+                             current_context, tracer_from_env)
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(sample_ratio=1.0, process="test")
+
+
+class TestSampling:
+    def test_disabled_tracer_hands_out_the_noop_singleton(self):
+        tracer = Tracer(sample_ratio=0.0)
+        sp = tracer.span("anything")
+        assert sp is NOOP_SPAN
+        assert not sp.recording
+        # The singleton is inert under the full protocol.
+        with sp:
+            sp.set(key="value")
+        sp.end()
+        assert tracer.spans() == []
+
+    def test_enabled_tracer_records_roots(self, tracer):
+        with tracer.span("root") as sp:
+            assert sp.recording
+        spans = tracer.drain()
+        assert [s["name"] for s in spans] == ["root"]
+        assert spans[0]["parent_id"] is None
+        assert spans[0]["proc"] == "test"
+
+    def test_child_of_recording_parent_always_records(self):
+        # Worker-side tracers run at ratio 0; chunks arriving with a
+        # context must still record — parent-based sampling.
+        tracer = Tracer(sample_ratio=0.0)
+        remote = SpanContext("aa" * 8, "bb" * 8)
+        sp = tracer.span("worker.chunk", parent=remote)
+        assert sp.recording
+        assert sp.trace_id == "aa" * 8
+        assert sp.parent_id == "bb" * 8
+
+    def test_ratio_from_env(self):
+        assert tracer_from_env({"REPRO_TRACE": ""}).sample_ratio == 0.0
+        assert tracer_from_env({"REPRO_TRACE": "1"}).sample_ratio == 1.0
+        assert tracer_from_env({"REPRO_TRACE": "0.25"}).sample_ratio \
+            == 0.25
+        assert tracer_from_env({"REPRO_TRACE": "on"}).sample_ratio == 1.0
+        assert tracer_from_env({"REPRO_TRACE": "junk"}).sample_ratio \
+            == 0.0
+
+
+class TestParentage:
+    def test_nested_spans_parent_ambiently(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        outer_dict = [s for s in tracer.drain() if s["name"] == "outer"]
+        assert len(outer_dict) == 1
+
+    def test_explicit_parent_beats_ambient(self, tracer):
+        remote = SpanContext("cc" * 8, "dd" * 8)
+        with tracer.span("ambient"):
+            sp = tracer.span("explicit", parent=remote)
+            assert sp.trace_id == "cc" * 8
+        sp.end()
+
+    def test_span_ids_are_unique(self, tracer):
+        with tracer.span("a"):
+            for _ in range(50):
+                tracer.span("b").end()
+        ids = [s["span_id"] for s in tracer.drain()]
+        assert len(ids) == len(set(ids))
+
+    def test_end_is_idempotent(self, tracer):
+        sp = tracer.span("once")
+        sp.end()
+        sp.end()
+        assert len(tracer.drain()) == 1
+
+
+class TestContextBridging:
+    def test_threads_do_not_inherit_but_attach_bridges(self, tracer):
+        seen = {}
+
+        def worker(ctx):
+            seen["bare"] = current_context()
+            with attach(ctx):
+                seen["attached"] = current_context()
+
+        with tracer.span("root") as root:
+            thread = threading.Thread(target=worker, args=(root.ctx,))
+            thread.start()
+            thread.join()
+        assert seen["bare"] is None
+        assert seen["attached"] == SpanContext(root.trace_id,
+                                               root.span_id)
+
+    def test_attach_none_is_a_noop(self):
+        with attach(None) as ctx:
+            assert ctx is None
+        assert current_context() is None
+
+
+class TestWireContext:
+    def test_round_trip(self):
+        ctx = SpanContext("ab" * 8, "cd" * 8)
+        assert SpanContext.from_wire(ctx.to_wire()) == ctx
+
+    @pytest.mark.parametrize("garbage", [
+        None, "string", 42, [], {}, {"trace_id": "x"},
+        {"trace_id": 1, "parent_id": 2},
+        {"trace_id": "", "parent_id": ""},
+    ])
+    def test_garbage_is_rejected_quietly(self, garbage):
+        assert SpanContext.from_wire(garbage) is None
+
+
+class TestBuffer:
+    def test_drain_by_trace_id(self, tracer):
+        with tracer.span("keep") as keep:
+            pass
+        with tracer.span("other"):
+            pass
+        drained = tracer.drain(keep.trace_id)
+        assert [s["name"] for s in drained] == ["keep"]
+        assert [s["name"] for s in tracer.spans()] == ["other"]
+
+    def test_bounded_buffer_counts_drops(self):
+        tracer = Tracer(sample_ratio=1.0, max_spans=3)
+        for _ in range(5):
+            tracer.span("s").end()
+        assert len(tracer.spans()) == 3
+        assert tracer.dropped == 2
+
+    def test_ingest_adopts_foreign_spans(self, tracer):
+        other = Tracer(sample_ratio=1.0, process="worker")
+        other.span("worker.chunk").end()
+        shipped = other.drain()
+        assert tracer.ingest(shipped) == 1
+        assert tracer.ingest([None, "junk"]) == 0
+        assert [s["proc"] for s in tracer.spans()] == ["worker"]
+
+    def test_attrs_are_json_safe(self, tracer):
+        sp = tracer.span("attrs")
+        sp.set(number=3, text="x", flag=True, obj=object())
+        sp.end()
+        attrs = tracer.drain()[0]["attrs"]
+        assert attrs["number"] == 3
+        assert attrs["flag"] is True
+        assert isinstance(attrs["obj"], str)
+
+
+class TestSpanDict:
+    def test_schema(self, tracer):
+        with tracer.span("s") as sp:
+            sp.set(key="v")
+        rendered = tracer.drain()[0]
+        assert set(rendered) == {"name", "trace_id", "span_id",
+                                 "parent_id", "ts", "dur", "pid", "tid",
+                                 "proc", "attrs"}
+        assert rendered["dur"] >= 0.0
+        assert isinstance(rendered["pid"], int)
+
+    def test_recording_flag_survives_end(self, tracer):
+        # Request handlers check `sp.recording` after ending the span
+        # to decide whether to drain — it is a class-level constant.
+        sp = tracer.span("s")
+        sp.end()
+        assert sp.recording
+        assert isinstance(sp, Span)

@@ -137,7 +137,7 @@ class TestClusterIntrospection:
     def test_metrics_reports_shards_and_schema(self, cluster):
         with cluster.client() as client:
             metrics = client.metrics()
-        assert metrics["schema"] == 1
+        assert metrics["schema"] == 2
         assert metrics["workers"]["configured"] == 2
         assert metrics["workers"]["mode"] == "process-pool"
         assert sorted(metrics["shards"]) == ["shard-00", "shard-01"]

@@ -98,3 +98,59 @@ class TestPayloadSchema:
         assert doc["workers"]["mode"] == "in-process"
         assert doc["workers"]["utilization"] is None
         assert "shards" not in doc
+
+
+class TestSchemaV2Compat:
+    """Schema bump 1 -> 2: every v1 key survives; v2 adds "registry"."""
+
+    V1_TOP_KEYS = {"schema", "uptime_s", "endpoints", "queue", "workers",
+                   "cache"}
+    V1_ENDPOINT_KEYS = {"count", "mean_ms", "p50_ms", "p90_ms", "p99_ms",
+                        "errors", "busy"}
+
+    def _doc(self):
+        metrics = ServiceMetrics(queue_limit=8)
+        metrics.observe("compile", 0.02, "ok")
+        metrics.enqueue(1)
+        metrics.dequeue(1, busy_seconds=0.01)
+        return metrics.payload(
+            workers=2,
+            pool_stats={"deaths": 0, "restarts": 0, "retried_chunks": 0,
+                        "failed_chunks": 0},
+            cache={"hits": 1, "misses": 0, "disk_hits": 0,
+                   "hit_rate": 1.0},
+            shard_sizes={"shard-00": 1})
+
+    def test_schema_is_2(self):
+        assert METRICS_SCHEMA_VERSION == 2
+        assert self._doc()["schema"] == 2
+
+    def test_all_v1_keys_survive(self):
+        doc = self._doc()
+        assert self.V1_TOP_KEYS <= set(doc)
+        assert "shards" in doc
+        assert self.V1_ENDPOINT_KEYS <= set(doc["endpoints"]["compile"])
+        assert set(doc["queue"]) == {"depth", "limit", "high_water",
+                                     "busy_rejections"}
+        for key in ("configured", "mode", "jobs_done", "utilization",
+                    "deaths", "restarts", "retried_chunks",
+                    "failed_chunks"):
+            assert key in doc["workers"], key
+
+    def test_v2_adds_registry_section(self):
+        registry = self._doc()["registry"]
+        latency = registry["service_request_seconds"]
+        assert latency["kind"] == "histogram"
+        assert latency["series"]["op=compile"]["count"] == 1
+        requests = registry["service_requests_total"]
+        assert requests["series"]["op=compile,outcome=ok"] == 1
+        assert registry["service_queue_depth"]["kind"] == "gauge"
+
+    def test_registry_merges_process_wide_metrics(self):
+        from repro.obs.metrics import REGISTRY
+        REGISTRY.counter("test_only_probe_total").inc(3)
+        try:
+            registry = self._doc()["registry"]
+            assert registry["test_only_probe_total"]["series"][""] == 3
+        finally:
+            REGISTRY._metrics.pop("test_only_probe_total", None)
