@@ -1,0 +1,64 @@
+"""Autotuner benchmarks: cold search vs warm record replay.
+
+The tuner's performance claim is a ladder: a cold search measures the
+whole lattice once; a warm engine answers the same query from the
+in-memory record for microseconds; a fresh engine over a persisted
+store replays the record from disk without recomputing a single cell.
+``scripts/check_bench.py`` guards the ladder's shape.
+
+The lattice here is deliberately small (one pattern, one level — the
+pass subsets still fan out) so the cold rung times the search
+machinery, not ten seconds of VM simulation.
+"""
+
+import pytest
+
+from repro.compiler import OptLevel
+from repro.engine import ExperimentEngine
+from repro.experiments.models import \
+    hierarchical_machine_with_shadowed_composite
+
+LATTICE = dict(patterns=["state-table"], levels=(OptLevel.OS,))
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return hierarchical_machine_with_shadowed_composite()
+
+
+def test_bench_tune_cold_search(benchmark, machine):
+    result = benchmark(
+        lambda: ExperimentEngine().tune(machine, **LATTICE))
+    assert result.winner is not None
+
+
+def test_bench_tune_warm_record_hit(benchmark, machine):
+    # 100 hits per round: a record hit is a fingerprint + dict lookup,
+    # too close to timer resolution to compare one at a time.
+    engine = ExperimentEngine()
+    engine.tune(machine, **LATTICE)
+
+    def hundred_hits():
+        for _ in range(100):
+            record = engine.tune(machine, **LATTICE)
+        return record
+
+    record = benchmark(hundred_hits)
+    assert record.winner is not None
+    assert engine.stats.hits >= 100
+
+
+def test_bench_tune_disk_record_replay(benchmark, machine, tmp_path):
+    # A fresh engine per round: the only warmth is the store on disk,
+    # so each round is one disk-served record replay, zero cells
+    # measured.
+    ExperimentEngine(cache_dir=str(tmp_path)).tune(machine, **LATTICE)
+
+    def replay():
+        warm = ExperimentEngine(cache_dir=str(tmp_path))
+        record = warm.tune(machine, **LATTICE)
+        assert warm.stats.misses == 0
+        return record
+
+    record = benchmark(replay)
+    assert record.winner is not None

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Gate the autotuner's contract: conformant, Pareto-optimal, replayable.
+
+Runs ``python -m repro.tune search`` twice against one shared cache
+directory and asserts the acceptance criteria of :mod:`repro.tune`:
+
+* the **cold** search's winner is conformant and Pareto-optimal on
+  (cycles/event, text bytes) among every measured cell — recomputed
+  here from the emitted record, not trusted from the record's own
+  bookkeeping — and ``TuningRecord.verify()`` agrees;
+* the **warm** rerun is served entirely from the persisted record:
+  stdout is byte-identical to the cold run and the engine's module
+  cache reports **zero misses** (one lookup, one disk hit);
+* ``show`` peeks the persisted record without recomputing anything and
+  prints the same bytes.
+
+Usage::
+
+    python scripts/check_tune.py [--cache-dir DIR] [--machine NAME]
+                                 [--target NAME]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: Subprocesses import `repro` like an installed package; keep src/ on
+#: PYTHONPATH so the script works without `pip install -e .`.
+_ENV = dict(os.environ)
+_ENV["PYTHONPATH"] = os.pathsep.join(
+    [str(REPO_ROOT / "src")] + ([_ENV["PYTHONPATH"]]
+                                if _ENV.get("PYTHONPATH") else []))
+
+
+def run_tune(subcommand: str, cache_dir: str, machine: str, target: str,
+             stats_path: pathlib.Path | None = None) -> tuple:
+    """One ``python -m repro.tune`` run; returns (stdout, stats|None)."""
+    cmd = [sys.executable, "-m", "repro.tune", subcommand,
+           "--machine", machine, "--target", target,
+           "--cache-dir", cache_dir, "--json"]
+    if stats_path is not None:
+        cmd += ["--stats-out", str(stats_path)]
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, env=_ENV,
+                          capture_output=True)
+    if proc.returncode != 0:
+        sys.exit(f"tune {subcommand} failed (exit {proc.returncode}):\n"
+                 f"{proc.stderr.decode(errors='replace')[-2000:]}")
+    stats = (json.loads(stats_path.read_text())
+             if stats_path is not None else None)
+    return proc.stdout, stats
+
+
+def check_winner(record: dict) -> None:
+    """Winner must be conformant and Pareto-optimal among *all* cells."""
+    winner = record.get("winner")
+    if not winner:
+        sys.exit("check_tune: FAIL - record has no winner")
+    if not winner["conformant"]:
+        sys.exit("check_tune: FAIL - winner is not conformant: "
+                 f"{winner}")
+    label = (f"{winner['pattern']} {winner['level']} "
+             f"passes={list(winner['passes'])}")
+    for cell in record["cells"]:
+        dominates = (cell["conformant"]
+                     and cell["cycles_per_event"] <= winner["cycles_per_event"]
+                     and cell["text_bytes"] <= winner["text_bytes"]
+                     and (cell["cycles_per_event"] < winner["cycles_per_event"]
+                          or cell["text_bytes"] < winner["text_bytes"]))
+        if dominates:
+            sys.exit(f"check_tune: FAIL - winner {label} is dominated "
+                     f"on (cycles/event, text bytes) by {cell['pattern']} "
+                     f"{cell['level']} passes={list(cell['passes'])}")
+    print(f"check_tune: winner {label} is conformant and Pareto-optimal "
+          f"among {len(record['cells'])} measured cells")
+
+
+def check_record_verifies(record: dict) -> None:
+    """The library's own verify() must agree with the emitted JSON."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.tune import TuningRecord
+    problems = TuningRecord.from_dict(record).verify()
+    if problems:
+        sys.exit("check_tune: FAIL - record.verify() reports: "
+                 + "; ".join(problems))
+    print("check_tune: record.verify() is clean")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cache-dir", default=None,
+                        help="shared store directory (default: a "
+                             "temporary one)")
+    parser.add_argument("--machine", default="hierarchical")
+    parser.add_argument("--target", default="rt32")
+    args = parser.parse_args(argv)
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-tune-")
+    stats_path = pathlib.Path(tempfile.mkdtemp(prefix="repro-tune-stats-"))
+
+    cold_out, _ = run_tune("search", cache_dir, args.machine, args.target)
+    record = json.loads(cold_out)
+    check_winner(record)
+    check_record_verifies(record)
+
+    warm_out, warm = run_tune("search", cache_dir, args.machine,
+                              args.target,
+                              stats_path=stats_path / "warm.json")
+    if warm_out != cold_out:
+        sys.exit("check_tune: FAIL - warm rerun is not byte-identical "
+                 "to the cold search")
+    module = warm["module"]
+    if module["misses"] != 0:
+        sys.exit("check_tune: FAIL - warm rerun recomputed "
+                 f"{module['misses']} artifact(s); expected pure "
+                 f"cache/record hits: {module}")
+    if module["hits"] < 1:
+        sys.exit(f"check_tune: FAIL - warm rerun did not hit the "
+                 f"persisted record: {module}")
+    print(f"check_tune: warm rerun byte-identical, served from the "
+          f"store ({module['hits']} hit(s), {module['disk_hits']} from "
+          f"disk, 0 misses)")
+
+    shown, _ = run_tune("show", cache_dir, args.machine, args.target)
+    if shown != cold_out:
+        sys.exit("check_tune: FAIL - 'show' printed different bytes "
+                 "than the search that persisted the record")
+    print("check_tune: PASS - 'show' replays the persisted record "
+          "byte-identically")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -269,6 +269,43 @@ class ExperimentEngine:
 
         return self.cache.get_or_compute(key, compute)
 
+    def tune(self, machine: StateMachine,
+             target: Union[TargetDescription, str, None] = None,
+             objective=None, profile=None,
+             patterns: Optional[Sequence[str]] = None,
+             levels: Optional[Sequence[OptLevel]] = None,
+             semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS):
+        """Cached autotuner search (:func:`repro.tune.run_search`).
+
+        Two cache tiers cooperate: each cell's model optimization and
+        VM measurement is independently cached (a warm engine re-tunes
+        a machine without a single new simulation), and the finished
+        :class:`~repro.tune.record.TuningRecord` is itself an artifact
+        under a ``tune`` fingerprint — with a persistent ``cache_dir``
+        the record survives the process and a warm rerun is one disk
+        read.  Cells run on the engine's worker pool.
+        """
+        from ..codegen import ALL_PATTERNS
+        from ..tune.record import EventProfile, ObjectiveWeights
+        from ..tune.search import DEFAULT_LEVELS, run_search
+        from .fingerprint import tune_fingerprint
+        objective = objective if objective is not None \
+            else ObjectiveWeights()
+        profile = profile if profile is not None else EventProfile()
+        pattern_names = list(patterns) if patterns is not None \
+            else [gen_cls.name for gen_cls in ALL_PATTERNS]
+        level_list = list(levels) if levels is not None \
+            else list(DEFAULT_LEVELS)
+        key = tune_fingerprint(machine, target, objective.key(),
+                               profile.key(), pattern_names, level_list,
+                               semantics)
+        return self.cache.get_or_compute(
+            key, lambda: run_search(self, machine, target=target,
+                                    objective=objective, profile=profile,
+                                    patterns=pattern_names,
+                                    levels=level_list,
+                                    semantics=semantics))
+
     # -- pipeline-level operations ------------------------------------------
 
     def run_pipeline(self, machine: StateMachine,
@@ -304,15 +341,31 @@ class ExperimentEngine:
                              UML_DEFAULT_SEMANTICS,
                              target: Union[TargetDescription, str, None]
                              = None,
+                             tuned: bool = False,
                              ):
         """Cached equivalent of :func:`repro.pipeline.optimize_and_compare`.
 
         The model optimization, both compiles and the equivalence check
         are cached independently, so a grid of comparisons shares its
         baseline compiles and optimized models across cells.
+
+        ``tuned=True`` asks the autotuner first: pattern, level and
+        pass selection are taken from the winning cell of
+        :meth:`tune` for this machine/target (the explicit ``pattern``
+        / ``level`` / ``model_optimizations`` arguments are ignored),
+        so the comparison answers "what does the measured-best
+        configuration save" instead of "what does this configuration
+        save".  Raises :class:`repro.tune.TuningError` when no
+        conformant configuration exists.
         """
         from ..pipeline import CompareResult
         tgt = resolve_target(target)
+        if tuned:
+            winner = self.tune(machine, target=tgt,
+                               semantics=semantics).require_winner()
+            pattern = winner.pattern
+            level = OptLevel(winner.level)
+            model_optimizations = list(winner.passes)
         report = self.optimize_model(machine,
                                      selection=model_optimizations,
                                      semantics=semantics)

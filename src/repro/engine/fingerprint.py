@@ -45,7 +45,7 @@ __all__ = ["machine_fingerprint", "semantics_key", "target_key",
            "equivalence_fingerprint", "conformance_fingerprint",
            "stimuli_key", "interp_observation_fingerprint",
            "vm_observation_fingerprint", "fleet_observation_fingerprint",
-           "fleet_conformance_fingerprint"]
+           "fleet_conformance_fingerprint", "tune_fingerprint"]
 
 
 #: Per-object memo so repeated lookups of the same machine (the engine
@@ -180,6 +180,30 @@ def fleet_conformance_fingerprint(machine: StateMachine,
                             separators=(",", ":"))
     return _digest("fleet-conformance", machine_fingerprint(machine),
                    semantics_key(semantics), params_key)
+
+
+def tune_fingerprint(machine: StateMachine,
+                     target: Union[TargetDescription, str, None],
+                     objective_key: str, profile_key: str,
+                     patterns: Sequence[str],
+                     levels: Sequence[OptLevel],
+                     semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS,
+                     ) -> str:
+    """Key of one autotuner search (:meth:`ExperimentEngine.tune`).
+
+    ``objective_key`` / ``profile_key`` are the canonical strings of
+    :class:`repro.tune.record.ObjectiveWeights` /
+    :class:`~repro.tune.record.EventProfile` — the fingerprint layer
+    stays free of tune imports, like it is for fuzz stimuli.  The
+    pattern and level axes key the record too: searching a narrower
+    lattice is a different question with a different answer.
+    """
+    axes_key = json.dumps({"patterns": list(patterns),
+                           "levels": [lv.value for lv in levels]},
+                          sort_keys=True, separators=(",", ":"))
+    return _digest("tune", machine_fingerprint(machine),
+                   target_key(target), objective_key, profile_key,
+                   axes_key, semantics_key(semantics))
 
 
 def conformance_fingerprint(machine: StateMachine, pattern: str,

@@ -33,7 +33,7 @@ from typing import List, Optional
 from ..compiler.target import (UnknownTargetError, available_targets,
                                get_target)
 from ..engine import ExperimentEngine
-from . import dynamics, figure1, sweeps, table1, table2
+from . import dynamics, figure1, sweeps, table1, table2, tuning
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -65,6 +65,11 @@ def main(argv: Optional[List[str]] = None) -> int:
              "non-deterministic; never part of the default output, "
              "which CI diffs byte-for-byte across --jobs values)")
     parser.add_argument(
+        "--tune", action="store_true",
+        help="append the autotuner table (pattern x level x model-pass "
+             "lattice measured on the simulator; deterministic but "
+             "opt-in — it searches ~100 cells instead of 8)")
+    parser.add_argument(
         "--trace-out", default=None, metavar="TRACE.json",
         help="sample every compile and write the run's spans as "
              "Chrome trace JSON (Perfetto / python -m repro.obs view)")
@@ -90,6 +95,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"# {title}  (target: {target.name})")
             print("#" * 72)
             print(module.main(target=target, engine=engine))
+            print()
+        if args.tune:
+            print("#" * 72)
+            print(f"# AUTOTUNER  (target: {target.name})")
+            print("#" * 72)
+            print(tuning.main(target=target, engine=engine))
             print()
         if args.throughput:
             print("#" * 72)

@@ -132,10 +132,18 @@ class FleetThroughputRow:
     interp_events_per_sec: float
 
     @property
-    def speedup(self) -> float:
+    def speedup(self) -> Optional[float]:
+        """Fleet-vs-interpreter ratio, ``None`` when the interpreter
+        baseline rate is 0 (nothing to divide by — "infinitely faster"
+        was a measurement artifact, not a result)."""
         if self.interp_events_per_sec == 0:
-            return float("inf")
+            return None
         return self.events_per_sec / self.interp_events_per_sec
+
+    @property
+    def speedup_display(self) -> str:
+        """``"12.3x"``, or ``"n/a"`` without a usable baseline."""
+        return "n/a" if self.speedup is None else f"{self.speedup:.1f}x"
 
 
 def run_fleet_throughput(machine: Optional[StateMachine] = None,
@@ -151,12 +159,18 @@ def run_fleet_throughput(machine: Optional[StateMachine] = None,
     Wall-clock by construction, so this axis never feeds the
     deterministic experiment tables — it is opt-in via
     ``python -m repro.experiments --throughput``.
+
+    The interpreter baseline times **dispatch only**
+    (:func:`repro.fleet.baseline.interpreter_dispatch_rate`): instance
+    construction and ``start()`` happen outside the timed region,
+    matching what the fleet side's report times, so the speedup
+    compares steady-state dispatch against steady-state dispatch.
     """
     import random as _random
 
+    from ..fleet.baseline import interpreter_dispatch_rate
     from ..fleet.harness import FleetHarness
     from ..fleet.table import compile_table
-    from ..semantics.runtime import MachineInstance
     if machine is None:
         machine = hierarchical_machine_with_shadowed_composite()
     table = compile_table(machine)
@@ -170,16 +184,8 @@ def run_fleet_throughput(machine: Optional[StateMachine] = None,
     harness.start()
     report = harness.run(events)
 
-    import time as _time
     sample = min(interp_sample, n_instances)
-    began = _time.perf_counter()
-    for _ in range(sample):
-        instance = MachineInstance(machine)
-        instance.start()
-        for name in events:
-            instance.dispatch(name)
-    elapsed = _time.perf_counter() - began
-    interp_eps = (sample * len(events)) / elapsed if elapsed > 0 else 0.0
+    interp_eps = interpreter_dispatch_rate(machine, events, sample)
 
     fast = sum(s.fast_fraction * s.lane_events for s in report.shards)
     total = sum(s.lane_events for s in report.shards)
@@ -215,7 +221,7 @@ def throughput_main(target: Union[TargetDescription, str, None] = None,
          "events/sec", "interp ev/s", "speedup"],
         [[r.machine_name, r.instances, r.shards, r.lane_events,
           f"{r.fast_fraction:.0%}", f"{r.events_per_sec:,.0f}",
-          f"{r.interp_events_per_sec:,.0f}", f"{r.speedup:.1f}x"]
+          f"{r.interp_events_per_sec:,.0f}", r.speedup_display]
          for r in rows])
     note = ("events/sec and speedup are wall-clock (vary per host/run); "
             "lane events and fast % are deterministic")

@@ -13,9 +13,10 @@ from .table import (FINAL_CONFIG, FleetExecutionError, FleetUnsupported,
                     TableProgram, compile_table)
 from .engine import Fleet, FleetStats
 from .harness import FleetHarness, ThroughputReport
+from .baseline import interpreter_dispatch_rate
 from .conformance import FleetConformanceReport, check_fleet_conformance
 
 __all__ = ["compile_table", "TableProgram", "FleetUnsupported",
            "FleetExecutionError", "FINAL_CONFIG", "Fleet", "FleetStats",
-           "FleetHarness", "ThroughputReport",
+           "FleetHarness", "ThroughputReport", "interpreter_dispatch_rate",
            "FleetConformanceReport", "check_fleet_conformance"]

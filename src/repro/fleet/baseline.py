@@ -1,0 +1,44 @@
+"""The per-instance interpreter baseline the fleet is measured against.
+
+One function, shared by the ``--throughput`` experiment table and the
+``python -m repro.fleet smoke`` gate, so both report the same quantity:
+sustained **dispatch** events/sec of per-instance interpretation.
+
+The timed region contains *only* ``dispatch`` calls.  Instance
+construction and ``start()`` (initial-transition execution, entry
+behaviors) happen before the clock starts — the fleet side's
+``ThroughputReport`` also times only its dispatch loop, and folding
+per-instance setup into the interpreter denominator inflated the
+reported fleet speedup (the bug this module fixes).  A regression test
+pins the ordering via the injectable *clock*.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+from ..semantics.runtime import MachineInstance
+from ..uml.statemachine import StateMachine
+
+__all__ = ["interpreter_dispatch_rate"]
+
+
+def interpreter_dispatch_rate(machine: StateMachine,
+                              events: Sequence[str], sample: int,
+                              clock: Callable[[], float] =
+                              time.perf_counter) -> float:
+    """Dispatch-only events/sec of *sample* interpreter instances each
+    consuming *events*; 0.0 when there is nothing to time."""
+    instances = []
+    for _ in range(max(0, sample)):
+        instance = MachineInstance(machine)
+        instance.start()
+        instances.append(instance)
+    began = clock()
+    for instance in instances:
+        for name in events:
+            instance.dispatch(name)
+    elapsed = clock() - began
+    total = len(instances) * len(events)
+    return total / elapsed if elapsed > 0 and total else 0.0

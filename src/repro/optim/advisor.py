@@ -42,7 +42,16 @@ def suggest_optimizations(machine: StateMachine,
                           semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS,
                           ) -> List[Suggestion]:
     """Return the passes that will actually change *machine*, in the
-    order the default pipeline would run them."""
+    order the default pipeline would run them.
+
+    **Ordering contract:** the suggested pass names are always a
+    subsequence of :data:`repro.optim.manager.DEFAULT_PIPELINE`, each
+    name at most once.  The autotuner (:mod:`repro.tune`) depends on
+    this: it uses the suggestion list as the *static prior* that
+    prunes its pass-subset lattice, and enumerating subsets of an
+    already-pipeline-ordered list is what makes every subset a valid
+    ``optimize(selection=...)`` as-is.  A contract test pins this.
+    """
     suggestions: List[Suggestion] = []
 
     foldable = 0
@@ -112,10 +121,12 @@ def suggest_optimizations(machine: StateMachine,
 def auto_optimize(machine: StateMachine,
                   semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS,
                   ) -> OptimizationReport:
-    """§VI realized: analyze, select, run — no manual pass choice."""
+    """§VI realized: analyze, select, run — no manual pass choice.
+
+    (An empty suggestion list simply yields an empty selection — the
+    no-change optimize run — so there is no special case.)
+    """
     suggestions = suggest_optimizations(machine, semantics)
-    if not suggestions:
-        return optimize(machine, selection=[], semantics=semantics)
     return optimize(machine,
                     selection=[s.pass_name for s in suggestions],
                     semantics=semantics)

@@ -24,8 +24,9 @@ from .optim.equivalence import EquivalenceReport
 from .semantics.variation import SemanticsConfig, UML_DEFAULT_SEMANTICS
 from .uml.statemachine import StateMachine
 
-__all__ = ["PipelineResult", "CompareResult", "compile_machine",
-           "compile_machine_delta", "run_pipeline", "optimize_and_compare"]
+__all__ = ["PipelineResult", "CompareResult", "TunedCompileResult",
+           "compile_machine", "compile_machine_delta", "run_pipeline",
+           "optimize_and_compare", "tuned_compile"]
 
 
 @dataclass
@@ -122,6 +123,61 @@ def run_pipeline(machine: StateMachine, pattern: str = "nested-switch",
 
 
 @dataclass
+class TunedCompileResult:
+    """What :func:`tuned_compile` hands back: the winning measured
+    configuration (with its whole record) and the module compiled
+    with it."""
+
+    record: "object"          # repro.tune.TuningRecord (lazy import)
+    result: PipelineResult
+
+    @property
+    def winner(self):
+        return self.record.winner
+
+    @property
+    def total_size(self) -> int:
+        return self.result.total_size
+
+    def summary(self) -> str:
+        return (f"{self.record.summary()}\n"
+                f"compiled with winner -> {self.total_size} bytes")
+
+
+def tuned_compile(machine: StateMachine,
+                  target: Union[TargetDescription, str, None] = None,
+                  objective=None, profile=None,
+                  patterns: Optional[Sequence[str]] = None,
+                  levels=None,
+                  semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS,
+                  engine: Optional["ExperimentEngine"] = None,
+                  ) -> TunedCompileResult:
+    """Compile *machine* with the measured-best configuration.
+
+    The profile-guided answer to "what is the fastest/smallest correct
+    configuration for THIS machine and THIS event profile": run (or
+    warm-load) the autotuner search
+    (:meth:`repro.engine.ExperimentEngine.tune`), take the winning
+    (pattern, level, model-pass subset) — conformance-verified and
+    Pareto-optimal among the measured cells — and compile through the
+    normal pipeline with exactly that configuration.  Raises
+    :class:`repro.tune.TuningError` when every measured cell was
+    rejected.
+    """
+    from .engine import ExperimentEngine
+    eng = engine if engine is not None else ExperimentEngine()
+    record = eng.tune(machine, target=target, objective=objective,
+                      profile=profile, patterns=patterns, levels=levels,
+                      semantics=semantics)
+    winner = record.require_winner()
+    result = eng.run_pipeline(machine, pattern=winner.pattern,
+                              level=OptLevel(winner.level),
+                              model_optimizations=list(winner.passes),
+                              semantics=semantics, target=target)
+    return TunedCompileResult(record=record, result=result)
+
+
+@dataclass
 class CompareResult:
     """Non-optimized vs model-optimized comparison for one pattern."""
 
@@ -158,6 +214,7 @@ def optimize_and_compare(machine: StateMachine,
                          semantics: SemanticsConfig = UML_DEFAULT_SEMANTICS,
                          target: Union[TargetDescription, str, None] = None,
                          engine: Optional["ExperimentEngine"] = None,
+                         tuned: bool = False,
                          ) -> CompareResult:
     """The paper's experiment, end to end: compile the model as-is and
     after model-level optimization, compare assembly sizes, and verify
@@ -169,10 +226,17 @@ def optimize_and_compare(machine: StateMachine,
     Passing an :class:`~repro.engine.ExperimentEngine` routes the work
     through its cache (a private single-call engine otherwise — the
     engine owns the one implementation of this workflow).
+
+    ``tuned=True`` lets the autotuner pick pattern, level and pass
+    selection from measurement (see
+    :meth:`~repro.engine.ExperimentEngine.optimize_and_compare`);
+    the explicit ``pattern``/``level``/``model_optimizations``
+    arguments are ignored then.
     """
     from .engine import ExperimentEngine
     eng = engine if engine is not None else ExperimentEngine()
     return eng.optimize_and_compare(
         machine, pattern=pattern, level=level,
         model_optimizations=model_optimizations,
-        check_behavior=check_behavior, semantics=semantics, target=target)
+        check_behavior=check_behavior, semantics=semantics, target=target,
+        tuned=tuned)

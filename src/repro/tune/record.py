@@ -1,0 +1,287 @@
+"""Tuning vocabulary: objective, event profile, cells, and the record.
+
+Everything here is plain, canonically serializable data: a
+:class:`TuningRecord` persisted in the :mod:`repro.store` on one run
+must reproduce **byte-identically** on a warm rerun
+(``scripts/check_tune.py`` gates that in CI), so every type has a
+``to_dict``/``from_dict`` pair over JSON-stable values and the record's
+:meth:`TuningRecord.to_json` renders with sorted keys and fixed
+separators.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..schema import schema_stamp
+
+__all__ = ["ObjectiveWeights", "EventProfile", "CellResult",
+           "TuningRecord", "TuningError"]
+
+
+class TuningError(RuntimeError):
+    """No usable tuning result (e.g. every measured cell rejected)."""
+
+
+@dataclass(frozen=True)
+class ObjectiveWeights:
+    """Scalarization of the measured axes into one score (lower wins).
+
+    ``score = cycles * cycles_per_event + text * text_bytes
+    + peak * peak_dispatch_cycles``.  The defaults weight the two
+    paper-relevant axes — dynamic dispatch cost and encoded code size —
+    and leave peak dispatch at zero so the winner is guaranteed
+    Pareto-optimal in (cycles/event, text bytes): with both active
+    weights positive, any cell dominated on those two axes scores
+    strictly worse, so the argmin cannot be dominated.  Give ``peak``
+    a positive weight to tune for worst-case latency instead (the
+    Pareto guarantee then moves to the three-axis frontier).
+    """
+
+    cycles: float = 1.0
+    text: float = 0.25
+    peak: float = 0.0
+
+    def score(self, cycles_per_event: float, text_bytes: int,
+              peak_dispatch_cycles: int) -> float:
+        return (self.cycles * cycles_per_event
+                + self.text * text_bytes
+                + self.peak * peak_dispatch_cycles)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"cycles": self.cycles, "text": self.text,
+                "peak": self.peak}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "ObjectiveWeights":
+        return cls(cycles=float(data["cycles"]), text=float(data["text"]),
+                   peak=float(data["peak"]))
+
+    def key(self) -> str:
+        """Canonical string for cache fingerprints."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class EventProfile:
+    """The event workload every cell is measured over.
+
+    These are exactly the scenario-construction knobs of
+    :meth:`repro.engine.ExperimentEngine.vm_conformance` — the profile
+    is deterministic given the machine's alphabet and these
+    parameters, and the scenarios are always generated from the
+    *original* machine so every cell (however many events its
+    model-optimized clone dropped) replays the same event sequences.
+    """
+
+    exhaustive_depth: int = 2
+    n_random: int = 8
+    random_length: int = 10
+    seed: int = 0xFACE
+
+    def params(self) -> Dict[str, int]:
+        return {"exhaustive_depth": self.exhaustive_depth,
+                "n_random": self.n_random,
+                "random_length": self.random_length, "seed": self.seed}
+
+    to_dict = params
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "EventProfile":
+        return cls(**{k: int(v) for k, v in data.items()})
+
+    def key(self) -> str:
+        """Canonical string for cache fingerprints."""
+        return json.dumps(self.params(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One measured (pattern, level, pass subset) configuration.
+
+    ``level`` is the :class:`~repro.compiler.OptLevel` *value* string
+    (``"-Os"``) and ``passes`` the model-pass subset in pipeline order
+    — plain data so records serialize canonically.  ``score`` is the
+    objective scalarization (kept even for rejected cells, for the
+    table); only ``conformant`` cells may win.
+    """
+
+    pattern: str
+    level: str
+    passes: Tuple[str, ...]
+    conformant: bool
+    cycles_per_event: float
+    text_bytes: int
+    peak_dispatch_cycles: int
+    score: float
+
+    @property
+    def config_label(self) -> str:
+        passes = "+".join(self.passes) if self.passes else "none"
+        return f"{self.pattern} {self.level} [{passes}]"
+
+    def sort_key(self) -> Tuple:
+        """Deterministic cell ordering (and winner tie-break)."""
+        return (self.score, self.pattern, self.level, self.passes)
+
+    def dominates(self, other: "CellResult") -> bool:
+        """Strict Pareto domination on (cycles/event, text bytes)."""
+        return (self.cycles_per_event <= other.cycles_per_event
+                and self.text_bytes <= other.text_bytes
+                and (self.cycles_per_event < other.cycles_per_event
+                     or self.text_bytes < other.text_bytes))
+
+    def to_dict(self) -> Dict:
+        return {"pattern": self.pattern, "level": self.level,
+                "passes": list(self.passes),
+                "conformant": self.conformant,
+                "cycles_per_event": self.cycles_per_event,
+                "text_bytes": self.text_bytes,
+                "peak_dispatch_cycles": self.peak_dispatch_cycles,
+                "score": self.score}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CellResult":
+        return cls(pattern=data["pattern"], level=data["level"],
+                   passes=tuple(data["passes"]),
+                   conformant=bool(data["conformant"]),
+                   cycles_per_event=float(data["cycles_per_event"]),
+                   text_bytes=int(data["text_bytes"]),
+                   peak_dispatch_cycles=int(data["peak_dispatch_cycles"]),
+                   score=float(data["score"]))
+
+
+@dataclass(frozen=True)
+class TuningRecord:
+    """The persisted result of one autotuner search.
+
+    Schema-stamped and fingerprinted: ``schema`` is
+    :func:`repro.schema.schema_stamp` at search time, and
+    ``machine_fingerprint`` / ``target`` / ``objective`` / ``profile``
+    identify exactly what was tuned, so a record read back from the
+    :mod:`repro.store` can be checked against the question being asked
+    (``python -m repro.tune show`` does).  ``cells`` is the full
+    measured frontier in deterministic order; ``winner`` the
+    lowest-scoring conformant cell (``None`` when every cell was
+    rejected — :meth:`require_winner` raises then).
+    """
+
+    schema: str
+    machine_name: str
+    machine_fingerprint: str
+    target: str
+    objective: ObjectiveWeights
+    profile: EventProfile
+    prior: Tuple[str, ...]
+    cells: Tuple[CellResult, ...]
+    winner: Optional[CellResult] = None
+
+    @property
+    def conformant_cells(self) -> List[CellResult]:
+        return [c for c in self.cells if c.conformant]
+
+    @property
+    def rejected_cells(self) -> List[CellResult]:
+        return [c for c in self.cells if not c.conformant]
+
+    def frontier(self) -> List[CellResult]:
+        """Pareto-optimal conformant cells on (cycles/event, text
+        bytes), in deterministic cell order."""
+        conformant = self.conformant_cells
+        return [c for c in conformant
+                if not any(o.dominates(c) for o in conformant)]
+
+    def require_winner(self) -> CellResult:
+        if self.winner is None:
+            raise TuningError(
+                f"no conformant configuration for {self.machine_name!r} "
+                f"on {self.target} ({len(self.cells)} cell(s) measured, "
+                f"all rejected)")
+        return self.winner
+
+    def verify(self) -> List[str]:
+        """Internal-consistency problems (empty = sound record): the
+        winner must be a measured, conformant, Pareto-optimal,
+        lowest-scoring cell.  ``scripts/check_tune.py`` gates on this.
+        """
+        problems: List[str] = []
+        if self.winner is None:
+            if self.conformant_cells:
+                problems.append("no winner despite conformant cells")
+            return problems
+        if self.winner not in self.cells:
+            problems.append("winner is not a measured cell")
+        if not self.winner.conformant:
+            problems.append("winner is not conformant")
+        if self.winner not in self.frontier():
+            problems.append("winner is Pareto-dominated "
+                            "(cycles/event, text bytes)")
+        best = min(self.conformant_cells, key=CellResult.sort_key,
+                   default=None)
+        if best is not None and best != self.winner:
+            problems.append("winner is not the lowest-scoring "
+                            "conformant cell")
+        return problems
+
+    def summary(self) -> str:
+        head = (f"{self.machine_name} on {self.target}: "
+                f"{len(self.cells)} cell(s) measured, "
+                f"{len(self.conformant_cells)} conformant, "
+                f"{len(self.frontier())} on the Pareto frontier")
+        if self.winner is None:
+            return head + "; NO conformant configuration"
+        w = self.winner
+        return (f"{head}; winner {w.config_label}: "
+                f"{w.cycles_per_event:.1f} cycles/event, "
+                f"{w.text_bytes} text bytes, peak "
+                f"{w.peak_dispatch_cycles}")
+
+    def to_dict(self) -> Dict:
+        return {"schema": self.schema,
+                "machine_name": self.machine_name,
+                "machine_fingerprint": self.machine_fingerprint,
+                "target": self.target,
+                "objective": self.objective.to_dict(),
+                "profile": self.profile.to_dict(),
+                "prior": list(self.prior),
+                "cells": [c.to_dict() for c in self.cells],
+                "winner": (self.winner.to_dict()
+                           if self.winner is not None else None)}
+
+    def to_json(self) -> str:
+        """Canonical rendering — byte-identical across reruns of the
+        same search (what the warm-cache gate diffs)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TuningRecord":
+        return cls(
+            schema=data["schema"],
+            machine_name=data["machine_name"],
+            machine_fingerprint=data["machine_fingerprint"],
+            target=data["target"],
+            objective=ObjectiveWeights.from_dict(data["objective"]),
+            profile=EventProfile.from_dict(data["profile"]),
+            prior=tuple(data["prior"]),
+            cells=tuple(CellResult.from_dict(c) for c in data["cells"]),
+            winner=(CellResult.from_dict(data["winner"])
+                    if data.get("winner") is not None else None))
+
+    @classmethod
+    def fresh(cls, machine_name: str, machine_fingerprint: str,
+              target: str, objective: ObjectiveWeights,
+              profile: EventProfile, prior: Sequence[str],
+              cells: Sequence[CellResult]) -> "TuningRecord":
+        """Assemble a record: order the cells deterministically and
+        elect the lowest-scoring conformant cell."""
+        ordered = tuple(sorted(cells, key=CellResult.sort_key))
+        winner = min((c for c in ordered if c.conformant),
+                     key=CellResult.sort_key, default=None)
+        return cls(schema=schema_stamp(), machine_name=machine_name,
+                   machine_fingerprint=machine_fingerprint,
+                   target=target, objective=objective, profile=profile,
+                   prior=tuple(prior), cells=ordered, winner=winner)

@@ -1,0 +1,131 @@
+"""The interpreter baseline must time dispatch only.
+
+``run_fleet_throughput`` used to construct and ``start()`` each
+interpreter instance *inside* the timed region, charging per-instance
+setup to the baseline and inflating the reported fleet speedup.  The
+pinned test here instruments the injectable clock and the interpreter
+to prove the timed window contains nothing but ``dispatch`` calls.
+"""
+
+import pytest
+
+from repro.experiments.dynamics import (FleetThroughputRow,
+                                        run_fleet_throughput)
+from repro.fleet import interpreter_dispatch_rate
+from repro.semantics.runtime import MachineInstance
+from repro.uml import StateMachineBuilder
+
+
+def tiny_machine():
+    b = StateMachineBuilder("Tiny")
+    b.state("A")
+    b.state("B")
+    b.initial_to("A")
+    b.transition("A", "B", on="go")
+    b.transition("B", "A", on="back")
+    return b.build()
+
+
+class TestDispatchOnlyTiming:
+    def test_timed_region_contains_only_dispatches(self, monkeypatch):
+        log = []
+        orig_init = MachineInstance.__init__
+        orig_start = MachineInstance.start
+        orig_dispatch = MachineInstance.dispatch
+        monkeypatch.setattr(MachineInstance, "__init__",
+                            lambda self, *a, **k: (log.append("construct"),
+                                                   orig_init(self, *a, **k))[1])
+        monkeypatch.setattr(MachineInstance, "start",
+                            lambda self, *a, **k: (log.append("start"),
+                                                   orig_start(self, *a, **k))[1])
+        monkeypatch.setattr(MachineInstance, "dispatch",
+                            lambda self, *a, **k: (log.append("dispatch"),
+                                                   orig_dispatch(self, *a, **k))[1])
+
+        ticks = iter([10.0, 14.0])
+
+        def clock():
+            log.append("tick")
+            return next(ticks)
+
+        rate = interpreter_dispatch_rate(tiny_machine(), ["go", "back"],
+                                         sample=3, clock=clock)
+        first, second = log.index("tick"), len(log) - 1 - \
+            log[::-1].index("tick")
+        assert log[first + 1:second] == ["dispatch"] * 6
+        assert "construct" not in log[first:]
+        assert "start" not in log[first:]
+        assert rate == pytest.approx(6 / 4.0)
+
+    def test_zero_sample_rate_is_zero(self):
+        assert interpreter_dispatch_rate(tiny_machine(), ["go"], 0) == 0.0
+
+    def test_zero_elapsed_rate_is_zero(self):
+        assert interpreter_dispatch_rate(tiny_machine(), ["go"], 1,
+                                         clock=lambda: 5.0) == 0.0
+
+    def test_throughput_harness_uses_the_helper(self, monkeypatch):
+        calls = {}
+
+        def fake_rate(machine, events, sample, **kwargs):
+            calls["args"] = (machine.name, list(events), sample)
+            return 123.0
+
+        import repro.fleet.baseline as baseline
+        monkeypatch.setattr(baseline, "interpreter_dispatch_rate",
+                            fake_rate)
+        row = run_fleet_throughput(tiny_machine(), n_instances=8,
+                                   n_events=5, n_shards=1,
+                                   interp_sample=4)
+        assert calls["args"][0] == "Tiny"
+        assert calls["args"][2] == 4
+        assert row.interp_events_per_sec == 123.0
+
+
+class TestSpeedupRendering:
+    def row(self, interp):
+        return FleetThroughputRow(
+            machine_name="M", instances=10, shards=1, stream_events=5,
+            lane_events=50, fast_fraction=1.0, events_per_sec=1000.0,
+            interp_events_per_sec=interp)
+
+    def test_speedup_is_ratio(self):
+        assert self.row(100.0).speedup == pytest.approx(10.0)
+        assert self.row(100.0).speedup_display == "10.0x"
+
+    def test_zero_baseline_is_not_infinite(self):
+        row = self.row(0.0)
+        assert row.speedup is None
+        assert row.speedup_display == "n/a"
+
+    def test_zero_baseline_survives_json(self):
+        import json
+        row = self.row(0.0)
+        payload = json.dumps({"speedup": row.speedup})
+        assert json.loads(payload)["speedup"] is None
+
+
+class TestSmokeJsonGuard:
+    def test_smoke_json_never_emits_infinity(self, monkeypatch, capsys):
+        import repro.fleet.__main__ as fleet_main
+        monkeypatch.setattr(fleet_main, "interpreter_dispatch_rate",
+                            lambda *a, **k: 0.0)
+        code = fleet_main.main(["smoke", "--instances", "16",
+                                "--events", "4", "--shards", "1",
+                                "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        result = __import__("json").loads(out)   # valid JSON, no Infinity
+        assert result["speedup_vs_interp"] is None
+
+    def test_smoke_speedup_floor_fails_without_baseline(self, monkeypatch,
+                                                        capsys):
+        import repro.fleet.__main__ as fleet_main
+        monkeypatch.setattr(fleet_main, "interpreter_dispatch_rate",
+                            lambda *a, **k: 0.0)
+        code = fleet_main.main(["smoke", "--instances", "16",
+                                "--events", "4", "--shards", "1",
+                                "--min-speedup", "2"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "n/a" in err

@@ -1,14 +1,21 @@
 """Tests for automatic optimization selection (the paper's §VI plan)."""
 
 import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.experiments.models import (
     flat_machine_with_unreachable_state,
     hierarchical_machine_with_shadowed_composite)
+from repro.fuzz import DEFAULT_PROFILES, generate_case
 from repro.optim import (auto_optimize, check_equivalence, optimize,
                          suggest_optimizations)
+from repro.optim.manager import DEFAULT_PIPELINE
 from repro.semantics import SemanticsConfig
 from repro.uml import StateMachineBuilder, calls
+from repro.uml.events import TimeEvent
+
+_SETTINGS = settings(max_examples=50, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
 
 
 def names(suggestions):
@@ -102,3 +109,136 @@ class TestAutoOptimize:
         machine = b.build()
         report = auto_optimize(machine)
         assert not report.changed
+
+
+def assert_pipeline_subsequence(suggestions):
+    """The ordering contract the autotuner's lattice relies on."""
+    suggested = names(suggestions)
+    assert len(suggested) == len(set(suggested)), "duplicate pass suggested"
+    order = [DEFAULT_PIPELINE.index(n) for n in suggested]
+    assert order == sorted(order), \
+        f"{suggested} is not a subsequence of {list(DEFAULT_PIPELINE)}"
+
+
+class TestOrderingContract:
+    """suggest_optimizations is the tuner's static prior: its output is
+    a duplicate-free subsequence of DEFAULT_PIPELINE, so every subset of
+    it is a valid ``optimize(selection=...)`` as-is."""
+
+    @pytest.mark.parametrize("factory", [
+        flat_machine_with_unreachable_state,
+        hierarchical_machine_with_shadowed_composite])
+    def test_curated_machines_follow_pipeline_order(self, factory):
+        assert_pipeline_subsequence(suggest_optimizations(factory()))
+
+    def test_all_pass_names_are_known(self):
+        for factory in (flat_machine_with_unreachable_state,
+                        hierarchical_machine_with_shadowed_composite):
+            for s in suggest_optimizations(factory()):
+                assert s.pass_name in DEFAULT_PIPELINE
+
+    @_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=2 ** 20),
+           profile=st.sampled_from(DEFAULT_PROFILES))
+    def test_generated_machines_follow_pipeline_order(self, seed, profile):
+        machine = generate_case(seed, profile).machine
+        assert_pipeline_subsequence(suggest_optimizations(machine))
+
+    @_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=2 ** 20),
+           profile=st.sampled_from(DEFAULT_PROFILES))
+    def test_every_suggestion_set_is_a_runnable_selection(self, seed,
+                                                          profile):
+        machine = generate_case(seed, profile).machine
+        selection = names(suggest_optimizations(machine))
+        assert optimize(machine, selection=selection).optimized is not None
+
+
+def orphan_names(suggestions):
+    """Event names a remove-unused-events suggestion claims are unused."""
+    marker = "declared-but-unused event(s): "
+    for s in suggestions:
+        if s.pass_name == "remove-unused-events" and \
+                s.reason.startswith(marker):
+            listed = s.reason[len(marker):]
+            return [n.strip() for n in listed.split(",")]
+    return []
+
+
+class TestOrphanDetection:
+    """Orphan detection compares ``trig.key()`` against the keys of
+    ``machine.events`` — the key embeds the event *type*, so timing and
+    signal events with coincident names must never cross-match."""
+
+    def test_attached_time_event_is_not_an_orphan(self):
+        b = StateMachineBuilder("Timer")
+        b.state("A")
+        b.state("B")
+        b.initial_to("A")
+        timeout = b.time_event(5)
+        b.transition("A", "B", on=timeout)
+        b.transition("B", "final", on="done")
+        suggestions = suggest_optimizations(b.build())
+        assert orphan_names(suggestions) == []
+
+    def test_unattached_time_event_is_an_orphan(self):
+        b = StateMachineBuilder("Timer")
+        b.state("A")
+        b.initial_to("A")
+        b.time_event(7)          # declared, never triggers anything
+        b.transition("A", "final", on="go")
+        suggestions = suggest_optimizations(b.build())
+        assert orphan_names(suggestions) == ["after_7ms"]
+
+    def test_completion_transitions_do_not_create_orphans(self):
+        # Completion transitions carry no trigger at all; their implicit
+        # CompletionEvent never appears in machine.events, so a machine
+        # mixing completion flows with fully-used signals is orphan-free.
+        b = StateMachineBuilder("Compl")
+        sub = b.composite("C")
+        sub.state("Inner")
+        sub.state("Inner2")
+        sub.initial_to("Inner")
+        sub.transition("Inner", "Inner2", on="step")
+        b.initial_to("C")
+        b.transition("C", "final")          # completion transition
+        machine = b.build()
+        suggestions = suggest_optimizations(machine)
+        assert orphan_names(suggestions) == []
+
+    def test_signal_event_named_like_a_time_event_stays_distinct(self):
+        # A SignalEvent named "after_5ms" and a TimeEvent(5) have equal
+        # names but different keys; using one must not excuse the other.
+        b = StateMachineBuilder("Clash")
+        b.state("A")
+        b.initial_to("A")
+        b.time_event(5)                        # TimeEvent:after_5ms, unused
+        b.transition("A", "final", on="after_5ms")   # SignalEvent:after_5ms
+        suggestions = suggest_optimizations(b.build())
+        assert orphan_names(suggestions) == ["after_5ms"]
+        declared = sorted(b.machine.events)
+        assert declared == ["SignalEvent:after_5ms", "TimeEvent:after_5ms"]
+
+    @_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=2 ** 20),
+           profile=st.sampled_from(DEFAULT_PROFILES))
+    def test_no_false_orphans_on_generated_machines(self, seed, profile):
+        machine = generate_case(seed, profile).machine
+        used = {trig.key() for tr in machine.all_transitions()
+                for trig in tr.triggers}
+        truly_unused = {e.name for k, e in machine.events.items()
+                        if k not in used}
+        for name in orphan_names(suggest_optimizations(machine)):
+            assert name in truly_unused, \
+                f"{name} reported as orphan but a trigger uses it"
+
+    @_SETTINGS
+    @given(duration=st.integers(min_value=1, max_value=10_000))
+    def test_time_event_triggers_never_false_orphan(self, duration):
+        b = StateMachineBuilder("T")
+        b.state("A")
+        b.initial_to("A")
+        ev = TimeEvent(duration_ms=duration)
+        b.transition("A", "final", on=ev)
+        suggestions = suggest_optimizations(b.build())
+        assert orphan_names(suggestions) == []

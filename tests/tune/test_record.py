@@ -1,0 +1,130 @@
+"""Record vocabulary: objective, profile, cells, election, round-trip."""
+
+import json
+
+import pytest
+
+from repro.schema import schema_stamp
+from repro.tune import (CellResult, EventProfile, ObjectiveWeights,
+                        TuningError, TuningRecord)
+
+
+def cell(pattern="state-table", level="-Os", passes=(), conformant=True,
+         cycles=100.0, text=500, peak=50, objective=ObjectiveWeights()):
+    return CellResult(pattern=pattern, level=level, passes=tuple(passes),
+                      conformant=conformant, cycles_per_event=cycles,
+                      text_bytes=text, peak_dispatch_cycles=peak,
+                      score=objective.score(cycles, text, peak))
+
+
+def record(cells, **overrides):
+    kwargs = dict(machine_name="M", machine_fingerprint="f" * 64,
+                  target="rt32", objective=ObjectiveWeights(),
+                  profile=EventProfile(), prior=("remove-unused-events",),
+                  cells=cells)
+    kwargs.update(overrides)
+    return TuningRecord.fresh(**kwargs)
+
+
+class TestObjectiveWeights:
+    def test_score_is_weighted_sum(self):
+        w = ObjectiveWeights(cycles=2.0, text=0.5, peak=1.0)
+        assert w.score(10.0, 100, 3) == pytest.approx(2 * 10 + 0.5 * 100 + 3)
+
+    def test_default_ignores_peak(self):
+        assert ObjectiveWeights().peak == 0.0
+
+    def test_key_is_canonical(self):
+        assert ObjectiveWeights().key() == \
+            ObjectiveWeights(cycles=1.0, text=0.25, peak=0.0).key()
+        assert ObjectiveWeights().key() != \
+            ObjectiveWeights(text=0.3).key()
+
+    def test_round_trip(self):
+        w = ObjectiveWeights(cycles=3.0, text=0.1, peak=0.5)
+        assert ObjectiveWeights.from_dict(w.to_dict()) == w
+
+
+class TestEventProfile:
+    def test_params_match_vm_conformance_knobs(self):
+        assert EventProfile().params() == {
+            "exhaustive_depth": 2, "n_random": 8, "random_length": 10,
+            "seed": 0xFACE}
+
+    def test_round_trip(self):
+        p = EventProfile(exhaustive_depth=1, n_random=2,
+                         random_length=5, seed=7)
+        assert EventProfile.from_dict(p.to_dict()) == p
+
+
+class TestElection:
+    def test_winner_is_lowest_scoring_conformant(self):
+        cells = [cell(cycles=50.0), cell(pattern="state-pattern",
+                                         cycles=40.0)]
+        rec = record(cells)
+        assert rec.winner.pattern == "state-pattern"
+        assert rec.verify() == []
+
+    def test_rejected_cells_never_win(self):
+        cheap_but_wrong = cell(cycles=1.0, text=1, conformant=False)
+        honest = cell(pattern="state-pattern", cycles=90.0)
+        rec = record([cheap_but_wrong, honest])
+        assert rec.winner == honest
+        assert rec.verify() == []
+        assert rec.rejected_cells == [cheap_but_wrong]
+
+    def test_all_rejected_means_no_winner(self):
+        rec = record([cell(conformant=False)])
+        assert rec.winner is None
+        with pytest.raises(TuningError):
+            rec.require_winner()
+
+    def test_tie_broken_deterministically(self):
+        a = cell(pattern="nested-switch")
+        b = cell(pattern="state-table")
+        assert record([a, b]).winner == record([b, a]).winner == a
+
+    def test_winner_on_two_axis_pareto_frontier(self):
+        # Default weights (peak weight 0) guarantee the scalar argmin
+        # is Pareto-optimal in (cycles/event, text bytes).
+        cells = [cell(cycles=100.0, text=100),
+                 cell(pattern="state-pattern", cycles=50.0, text=300),
+                 cell(pattern="flat-switch", cycles=120.0, text=90)]
+        rec = record(cells)
+        assert rec.winner in rec.frontier()
+        assert rec.verify() == []
+
+    def test_verify_flags_dominated_winner(self):
+        dominated = cell(cycles=100.0, text=100)
+        dominator = cell(pattern="state-pattern", cycles=90.0, text=90)
+        rec = record([dominated, dominator])
+        # Forge a bad record: winner not the elected cell.
+        bad = TuningRecord(schema=rec.schema, machine_name=rec.machine_name,
+                           machine_fingerprint=rec.machine_fingerprint,
+                           target=rec.target, objective=rec.objective,
+                           profile=rec.profile, prior=rec.prior,
+                           cells=rec.cells, winner=dominated)
+        problems = bad.verify()
+        assert any("dominated" in p for p in problems)
+
+    def test_frontier_excludes_dominated(self):
+        dominated = cell(cycles=100.0, text=100)
+        dominator = cell(pattern="state-pattern", cycles=90.0, text=90)
+        frontier = record([dominated, dominator]).frontier()
+        assert dominator in frontier and dominated not in frontier
+
+
+class TestSerialization:
+    def test_record_round_trips_byte_identically(self):
+        rec = record([cell(), cell(pattern="state-pattern", cycles=80.0,
+                                   passes=("remove-unused-events",))])
+        restored = TuningRecord.from_dict(json.loads(rec.to_json()))
+        assert restored == rec
+        assert restored.to_json() == rec.to_json()
+
+    def test_record_is_schema_stamped(self):
+        assert record([cell()]).schema == schema_stamp()
+
+    def test_cells_ordered_deterministically(self):
+        a, b = cell(cycles=80.0), cell(pattern="state-pattern")
+        assert record([a, b]).to_json() == record([b, a]).to_json()

@@ -1,0 +1,94 @@
+"""``python -m repro.tune`` search | show | apply."""
+
+import json
+
+import pytest
+
+from repro.tune.__main__ import main, named_machine, parse_levels
+
+FAST = ["--levels=-O0,-Os"]
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestArgs:
+    def test_named_machines(self):
+        assert named_machine("hierarchical").name == "Fig1Hier"
+        assert named_machine("flat").name is not None
+        assert named_machine("workload:3").name == "TuneWorkload3"
+
+    def test_unknown_machine_exits(self):
+        with pytest.raises(SystemExit):
+            named_machine("nope")
+
+    def test_parse_levels(self):
+        from repro.compiler import OptLevel
+        assert parse_levels("-O0,-Os") == [OptLevel.O0, OptLevel.OS]
+        assert parse_levels(None) is None
+        with pytest.raises(SystemExit):
+            parse_levels("-O9")
+
+    def test_unknown_target_is_exit_2(self, capsys):
+        code, _, err = run(capsys, "search", "--target", "nope")
+        assert code == 2
+        assert "nope" in err
+
+
+class TestSearch:
+    def test_search_json_is_a_record(self, capsys, tmp_path):
+        code, out, _ = run(capsys, "search", "--json",
+                           "--cache-dir", str(tmp_path), *FAST)
+        assert code == 0
+        record = json.loads(out)
+        assert record["winner"]["conformant"] is True
+        assert record["machine_name"] == "Fig1Hier"
+
+    def test_search_human_output_names_winner(self, capsys, tmp_path):
+        code, out, _ = run(capsys, "search",
+                           "--cache-dir", str(tmp_path), *FAST)
+        assert code == 0
+        assert "winner" in out
+        assert "static prior" in out
+
+    def test_warm_rerun_byte_identical_and_pure_hits(self, capsys,
+                                                     tmp_path):
+        stats = tmp_path / "stats.json"
+        _, cold, _ = run(capsys, "search", "--json",
+                         "--cache-dir", str(tmp_path / "store"), *FAST)
+        code, warm, _ = run(capsys, "search", "--json",
+                            "--cache-dir", str(tmp_path / "store"),
+                            "--stats-out", str(stats), *FAST)
+        assert code == 0
+        assert warm == cold
+        counters = json.loads(stats.read_text())
+        assert counters["module"]["misses"] == 0
+        assert counters["module"]["hits"] == 1
+
+
+class TestShowApply:
+    def test_show_before_search_fails(self, capsys, tmp_path):
+        code, _, err = run(capsys, "show",
+                           "--cache-dir", str(tmp_path), *FAST)
+        assert code == 1
+        assert "run 'python -m repro.tune search'" in err
+
+    def test_show_after_search_prints_same_record(self, capsys, tmp_path):
+        _, searched, _ = run(capsys, "search", "--json",
+                             "--cache-dir", str(tmp_path), *FAST)
+        code, shown, _ = run(capsys, "show", "--json",
+                             "--cache-dir", str(tmp_path), *FAST)
+        assert code == 0
+        assert shown == searched
+
+    def test_apply_reports_winner_and_size(self, capsys, tmp_path):
+        run(capsys, "search", "--cache-dir", str(tmp_path), *FAST)
+        code, out, _ = run(capsys, "apply", "--json",
+                           "--cache-dir", str(tmp_path), *FAST)
+        assert code == 0
+        applied = json.loads(out)
+        assert applied["total_size"] > 0
+        assert applied["winner"]["conformant"] is True
